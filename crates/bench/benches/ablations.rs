@@ -1,0 +1,102 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **Interaction-cost model** (§4.1): pessimistic-only vs
+//!    optimistic-only vs the paper's average, via the selection's
+//!    predicted and measured gains.
+//! 2. **Spawn point**: decode-time (DDMT checkpoint fork, wrong-path
+//!    spawns included) vs commit-time (non-speculative, less lookahead).
+//! 3. **Prefetch depth**: DDMT's L2-only fills vs filling the L1 too.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use preexec_bench::{banner, bench_config};
+use preexec_critpath::{CritPathConfig, CritPathModel, InteractionModel};
+use preexec_harness::Prepared;
+use preexec_sim::{Simulator, SpawnPoint};
+use preexec_trace::{FuncSim, MemAnnotation, Profile};
+use preexec_workloads::{build, InputSet};
+use pthsel::SelectionTarget;
+
+fn ablate_interaction_model(cfg: &preexec_harness::ExpConfig) {
+    // The pessimistic/optimistic split only matters across *distinct*
+    // static loads (the joint estimator already internalizes intra-load
+    // overlap): gcc's two independent cold loads are the best example.
+    println!("-- ablation: interaction-cost model (gcc problem loads) --");
+    let program = build("gcc", InputSet::Train).unwrap();
+    let trace = FuncSim::new(&program).run_trace(cfg.trace_cap);
+    let ann = MemAnnotation::compute(&trace, cfg.sim.hierarchy);
+    let profile = Profile::compute(&program, &trace, &ann);
+    let target = profile.problem_loads(&program, 100)[0].pc;
+    let model = CritPathModel::new(&trace, &ann, CritPathConfig::default());
+    let tol = model.tolerable_cycles() as f64;
+    println!("per-miss gain at full tolerance ({tol:.0} cycles):");
+    for im in [
+        InteractionModel::Pessimistic,
+        InteractionModel::Optimistic,
+        InteractionModel::Averaged,
+    ] {
+        let cost = model.load_cost_with(target, im);
+        println!("  {im:?}: {:.1} cycles", cost.gain(tol));
+    }
+}
+
+fn ablate_spawn_point(cfg: &preexec_harness::ExpConfig) {
+    println!("\n-- ablation: spawn point (parser, L-p-threads) --");
+    let prep = Prepared::build("parser", cfg);
+    let sel = prep.select(SelectionTarget::Latency);
+    for (name, sp) in [("decode", SpawnPoint::Decode), ("commit", SpawnPoint::Commit)] {
+        let mut sim_cfg = cfg.sim;
+        sim_cfg.spawn_point = sp;
+        let rep = Simulator::new(&prep.program, sim_cfg)
+            .with_pthreads(&sel.pthreads)
+            .run();
+        println!(
+            "  {name:6}: {:6.1}% speedup, {:4} wrong-path spawns, {:5.1}% useful",
+            100.0 * (1.0 - rep.cycles as f64 / prep.baseline.cycles as f64),
+            rep.spawns_wrong_path,
+            100.0 * rep.usefulness(),
+        );
+    }
+}
+
+fn ablate_prefetch_depth(cfg: &preexec_harness::ExpConfig) {
+    println!("\n-- ablation: prefetch depth (bzip2, L-p-threads) --");
+    let prep = Prepared::build("bzip2", cfg);
+    let sel = prep.select(SelectionTarget::Latency);
+    for (name, l1) in [("L2 only", false), ("L1 + L2", true)] {
+        let mut sim_cfg = cfg.sim;
+        sim_cfg.prefetch_l1 = l1;
+        let rep = Simulator::new(&prep.program, sim_cfg)
+            .with_pthreads(&sel.pthreads)
+            .run();
+        println!(
+            "  {name:8}: {:6.1}% speedup, {:6} demand L2 accesses",
+            100.0 * (1.0 - rep.cycles as f64 / prep.baseline.cycles as f64),
+            rep.counts.l2_main,
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    banner("design-choice ablations");
+    ablate_interaction_model(&cfg);
+    ablate_spawn_point(&cfg);
+    ablate_prefetch_depth(&cfg);
+
+    // Measure the cost-function sampling that powers ablation 1.
+    let program = build("mcf", InputSet::Train).unwrap();
+    let trace = FuncSim::new(&program).run_trace(cfg.trace_cap);
+    let ann = MemAnnotation::compute(&trace, cfg.sim.hierarchy);
+    let profile = Profile::compute(&program, &trace, &ann);
+    let target = profile.problem_loads(&program, 100)[0].pc;
+    let model = CritPathModel::new(&trace, &ann, CritPathConfig::default());
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("load_cost/mcf", |b| {
+        b.iter(|| std::hint::black_box(model.load_cost(target)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

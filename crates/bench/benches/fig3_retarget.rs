@@ -1,0 +1,30 @@
+//! Figure 3: regenerates the full retargeting study (O/L/E/P p-threads
+//! across the nine benchmarks) and measures the selection + simulation
+//! step on a representative benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use preexec_bench::{banner, bench_config};
+use preexec_harness::experiments::fig3;
+use preexec_harness::Prepared;
+use pthsel::SelectionTarget;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    banner("Figure 3 (retargeting study)");
+    print!("{}", fig3::run(&cfg));
+
+    let prep = Prepared::build("twolf", &cfg);
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("select/twolf/ed", |b| {
+        b.iter(|| std::hint::black_box(prep.select(SelectionTarget::Ed)))
+    });
+    let sel = prep.select(SelectionTarget::Latency);
+    g.bench_function("simulate/twolf/with_pthreads", |b| {
+        b.iter(|| std::hint::black_box(prep.run_with(&sel)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Tables 1–2: regenerates the worked equation example and measures the
+//! cost of evaluating the full PTHSEL+E equation stack per candidate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use preexec_bench::{banner, bench_config};
+use preexec_harness::experiments::tab12;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    banner("Tables 1-2 (PTHSEL / PTHSEL+E equations)");
+    print!("{}", tab12::run(&cfg));
+    c.bench_function("tab12/equation_stack", |b| {
+        b.iter(|| std::hint::black_box(tab12::run(&cfg)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

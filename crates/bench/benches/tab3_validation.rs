@@ -1,0 +1,24 @@
+//! Table 3: regenerates the model-validation ratios (actual/predicted for
+//! latency, energy, and ED) and measures the end-to-end preparation
+//! pipeline behind them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use preexec_bench::{banner, bench_config};
+use preexec_harness::experiments::tab3;
+use preexec_harness::Prepared;
+
+fn bench(c: &mut Criterion) {
+    let cfg = bench_config();
+    banner("Table 3 (model validation)");
+    print!("{}", tab3::run(&cfg));
+
+    let mut g = c.benchmark_group("tab3");
+    g.sample_size(10);
+    g.bench_function("prepare/gcc", |b| {
+        b.iter(|| std::hint::black_box(Prepared::build("gcc", &cfg)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! # preexec-bench
+//!
+//! Criterion benches, one per table/figure of the paper. Each bench
+//! first *regenerates* its artifact (printing the same rows/series the
+//! paper reports) and then measures the throughput of the dominant
+//! analysis step behind it, so `cargo bench` doubles as the full
+//! reproduction run. See `EXPERIMENTS.md` for recorded outputs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use preexec_harness::ExpConfig;
+
+/// Shared experiment configuration for all benches (the paper's default
+/// machine).
+pub fn bench_config() -> ExpConfig {
+    ExpConfig::default()
+}
+
+/// Prints a banner so bench output is self-describing.
+pub fn banner(what: &str) {
+    println!("\n===== regenerating {what} =====\n");
+}

@@ -1,0 +1,309 @@
+//! # preexec-bpred
+//!
+//! The branch direction predictor and BTB the paper's simulator uses: an
+//! 8K-entry hybrid of gshare and bimodal components arbitrated by a
+//! chooser, with a 2K-entry branch target buffer.
+//!
+//! Two clients share this crate: the critical-path analyzer (which replays
+//! a trace through the predictor to place branch-misprediction edges) and
+//! the cycle-level timing simulator (which predicts at fetch and repairs at
+//! execute). Sharing one implementation keeps the analytical model and the
+//! simulated machine consistent.
+//!
+//! # Examples
+//!
+//! ```
+//! use preexec_bpred::{HybridPredictor, PredictorConfig};
+//! let mut p = HybridPredictor::new(PredictorConfig::default());
+//! // A strongly-biased branch trains quickly.
+//! for _ in 0..8 {
+//!     let _ = p.predict(100);
+//!     p.update(100, true);
+//! }
+//! assert!(p.predict(100));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use preexec_isa::Pc;
+
+/// Sizing of the hybrid predictor, defaulting to the paper's configuration
+/// (8K-entry tables, 2K-entry BTB).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PredictorConfig {
+    /// Entries in each of the gshare, bimodal, and chooser tables
+    /// (power of two).
+    pub table_entries: usize,
+    /// Entries in the branch target buffer (power of two).
+    pub btb_entries: usize,
+    /// Bits of global history used by the gshare component.
+    pub history_bits: u32,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            table_entries: 8 * 1024,
+            btb_entries: 2 * 1024,
+            history_bits: 12,
+        }
+    }
+}
+
+/// Saturating 2-bit counter helpers.
+#[inline]
+fn bump(counter: &mut u8, taken: bool) {
+    if taken {
+        if *counter < 3 {
+            *counter += 1;
+        }
+    } else if *counter > 0 {
+        *counter -= 1;
+    }
+}
+
+#[inline]
+fn is_taken(counter: u8) -> bool {
+    counter >= 2
+}
+
+/// Hybrid gshare + bimodal direction predictor with a chooser table.
+///
+/// The chooser counter per index selects between the two components and is
+/// trained toward whichever component was correct.
+#[derive(Clone, Debug)]
+pub struct HybridPredictor {
+    cfg: PredictorConfig,
+    bimodal: Vec<u8>,
+    gshare: Vec<u8>,
+    chooser: Vec<u8>,
+    history: u64,
+    stats: PredictorStats,
+}
+
+/// Prediction accuracy counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PredictorStats {
+    /// Direction predictions made (via [`HybridPredictor::update`]).
+    pub predictions: u64,
+    /// Direction mispredictions.
+    pub mispredictions: u64,
+}
+
+impl PredictorStats {
+    /// Misprediction rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+impl HybridPredictor {
+    /// Creates a predictor with all counters weakly not-taken and empty
+    /// history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table sizes are not powers of two.
+    pub fn new(cfg: PredictorConfig) -> HybridPredictor {
+        assert!(cfg.table_entries.is_power_of_two());
+        assert!(cfg.btb_entries.is_power_of_two());
+        HybridPredictor {
+            cfg,
+            bimodal: vec![1; cfg.table_entries],
+            gshare: vec![1; cfg.table_entries],
+            chooser: vec![2; cfg.table_entries], // weakly prefer gshare
+            history: 0,
+            stats: PredictorStats::default(),
+        }
+    }
+
+    fn bimodal_index(&self, pc: Pc) -> usize {
+        pc as usize & (self.cfg.table_entries - 1)
+    }
+
+    fn gshare_index(&self, pc: Pc) -> usize {
+        let hist_mask = (1u64 << self.cfg.history_bits) - 1;
+        ((pc as u64 ^ (self.history & hist_mask)) as usize) & (self.cfg.table_entries - 1)
+    }
+
+    /// Predicts the direction of the branch at `pc` without updating any
+    /// state.
+    pub fn predict(&self, pc: Pc) -> bool {
+        let b = is_taken(self.bimodal[self.bimodal_index(pc)]);
+        let g = is_taken(self.gshare[self.gshare_index(pc)]);
+        if is_taken(self.chooser[self.bimodal_index(pc)]) {
+            g
+        } else {
+            b
+        }
+    }
+
+    /// Records the resolved direction of the branch at `pc`, training all
+    /// components and the global history. Returns `true` if the prediction
+    /// (as of before this update) was correct.
+    pub fn update(&mut self, pc: Pc, taken: bool) -> bool {
+        let bi = self.bimodal_index(pc);
+        let gi = self.gshare_index(pc);
+        let b = is_taken(self.bimodal[bi]);
+        let g = is_taken(self.gshare[gi]);
+        let used_gshare = is_taken(self.chooser[bi]);
+        let predicted = if used_gshare { g } else { b };
+        // Train the chooser toward the correct component when they differ.
+        if b != g {
+            bump(&mut self.chooser[bi], g == taken);
+        }
+        bump(&mut self.bimodal[bi], taken);
+        bump(&mut self.gshare[gi], taken);
+        self.history = (self.history << 1) | u64::from(taken);
+        self.stats.predictions += 1;
+        let correct = predicted == taken;
+        if !correct {
+            self.stats.mispredictions += 1;
+        }
+        correct
+    }
+
+    /// Accuracy counters.
+    pub fn stats(&self) -> &PredictorStats {
+        &self.stats
+    }
+}
+
+/// A direct-mapped branch target buffer mapping branch PCs to their taken
+/// targets.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    entries: Vec<Option<(Pc, Pc)>>,
+    mask: usize,
+}
+
+impl Btb {
+    /// Creates an empty BTB with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Btb {
+        assert!(entries.is_power_of_two());
+        Btb {
+            entries: vec![None; entries],
+            mask: entries - 1,
+        }
+    }
+
+    /// The predicted target for the branch at `pc`, if this BTB has seen it.
+    pub fn lookup(&self, pc: Pc) -> Option<Pc> {
+        match self.entries[pc as usize & self.mask] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Installs or refreshes the target for the branch at `pc`.
+    pub fn update(&mut self, pc: Pc, target: Pc) {
+        self.entries[pc as usize & self.mask] = Some((pc, target));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biased_branch_converges() {
+        let mut p = HybridPredictor::new(PredictorConfig::default());
+        for _ in 0..16 {
+            p.update(64, true);
+        }
+        assert!(p.predict(64));
+        for _ in 0..16 {
+            p.update(64, false);
+        }
+        assert!(!p.predict(64));
+    }
+
+    #[test]
+    fn alternating_pattern_learned_by_gshare() {
+        // T,N,T,N... is captured by 12 bits of history.
+        let mut p = HybridPredictor::new(PredictorConfig::default());
+        let mut correct_late = 0;
+        for i in 0..400 {
+            let taken = i % 2 == 0;
+            let predicted = p.predict(200);
+            if i >= 200 && predicted == taken {
+                correct_late += 1;
+            }
+            p.update(200, taken);
+        }
+        assert!(
+            correct_late > 180,
+            "gshare should learn the alternation, got {correct_late}/200"
+        );
+    }
+
+    #[test]
+    fn random_pattern_mispredicts_often() {
+        let mut p = HybridPredictor::new(PredictorConfig::default());
+        // Deterministic pseudo-random directions.
+        let mut x: u64 = 0x12345;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            p.update(300, (x >> 33) & 1 == 1);
+        }
+        assert!(p.stats().miss_rate() > 0.25, "{}", p.stats().miss_rate());
+    }
+
+    #[test]
+    fn update_reports_correctness() {
+        let mut p = HybridPredictor::new(PredictorConfig::default());
+        for _ in 0..16 {
+            p.update(64, true);
+        }
+        assert!(p.update(64, true));
+        assert!(!p.update(64, false));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = HybridPredictor::new(PredictorConfig::default());
+        for _ in 0..10 {
+            p.update(1, true);
+        }
+        assert_eq!(p.stats().predictions, 10);
+        assert!(p.stats().mispredictions <= 2);
+    }
+
+    #[test]
+    fn btb_hits_after_install() {
+        let mut btb = Btb::new(16);
+        assert_eq!(btb.lookup(5), None);
+        btb.update(5, 99);
+        assert_eq!(btb.lookup(5), Some(99));
+        // A conflicting PC evicts.
+        btb.update(5 + 16, 42);
+        assert_eq!(btb.lookup(5), None);
+        assert_eq!(btb.lookup(5 + 16), Some(42));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_btb_panics() {
+        let _ = Btb::new(12);
+    }
+
+    #[test]
+    fn distinct_branches_do_not_interfere_much() {
+        let mut p = HybridPredictor::new(PredictorConfig::default());
+        for _ in 0..32 {
+            p.update(10, true);
+            p.update(11, false);
+        }
+        assert!(p.predict(10));
+        assert!(!p.predict(11));
+    }
+}

@@ -1,0 +1,156 @@
+//! External parameters of the selection frameworks.
+//!
+//! The paper divides PTHSEL(+E)'s inputs into per-microarchitecture
+//! parameters (equations L5 and E8 — published by the vendor or reverse
+//! engineered), per-program parameters (L6 — the unoptimized IPC), and
+//! per-application composite parameters (C2 — unoptimized latency and
+//! energy, or their ratio).
+
+/// Per-microarchitecture latency parameters (equation L5).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct MachineParams {
+    /// Processor sequencing width (`BWSEQproc`), instructions per cycle.
+    pub bw_seq_proc: f64,
+    /// Main-memory access latency (`Lcm`), cycles: the portion of an L2
+    /// miss a perfect prefetch-into-L2 removes.
+    pub mem_latency: f64,
+    /// L1-hit load latency, cycles.
+    pub l1_latency: f64,
+    /// L2-hit load latency (beyond the L1), cycles.
+    pub l2_latency: f64,
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        MachineParams {
+            bw_seq_proc: 6.0,
+            mem_latency: 200.0,
+            l1_latency: 2.0,
+            l2_latency: 12.0,
+        }
+    }
+}
+
+impl MachineParams {
+    /// Expected latency of a load given its L1 and L2 miss rates — used
+    /// to estimate how long a p-thread's embedded loads stall it.
+    pub fn expected_load_latency(&self, l1_miss_rate: f64, l2_miss_rate: f64) -> f64 {
+        self.l1_latency + l1_miss_rate * self.l2_latency + l2_miss_rate * self.mem_latency
+    }
+}
+
+/// Per-microarchitecture energy parameters (equation E8), in units of the
+/// processor's maximum per-cycle energy. Defaults are the paper's §4.2
+/// values: `Ef/a` 9%, `Exall/a` 4.9%, `Exalu/a` 0.8%, `Exload/a` 3.8%,
+/// `EL2/a` 13.6%, `Eidle/c` 5%.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct EnergyParams {
+    /// Instruction-cache access energy per fetch block (`Ef/a`).
+    pub e_fetch_per_access: f64,
+    /// Rename + window + register + bypass energy per instruction
+    /// (`Exall/a`).
+    pub e_xall_per_access: f64,
+    /// ALU energy per ALU instruction (`Exalu/a`).
+    pub e_xalu_per_access: f64,
+    /// AGEN + D-cache/TLB/LSQ energy per load (`Exload/a`).
+    pub e_xload_per_access: f64,
+    /// L2 access energy (`EL2/a`).
+    pub e_l2_per_access: f64,
+    /// Idle energy per cycle (`Eidle/c`) — the fraction of maximum
+    /// per-cycle energy consumed even when nothing issues, recoverable
+    /// only by finishing earlier.
+    pub e_idle_per_cycle: f64,
+    /// Typical *busy* energy per cycle (`Etotal/c`) — the rate at which
+    /// energy is saved when pre-execution removes cycles the processor
+    /// would have spent doing (wrong-path) work, i.e. the constant branch
+    /// pre-execution substitutes for `Eidle/c` per the paper's §7.
+    pub e_total_per_cycle: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            e_fetch_per_access: 0.09,
+            e_xall_per_access: 0.049,
+            e_xalu_per_access: 0.008,
+            e_xload_per_access: 0.038,
+            e_l2_per_access: 0.136,
+            e_idle_per_cycle: 0.05,
+            e_total_per_cycle: 0.35,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// The paper's idle-energy-factor sweep helper (Figure 5 top): returns
+    /// a copy with `Eidle/c` replaced.
+    pub fn with_idle_factor(mut self, idle: f64) -> Self {
+        self.e_idle_per_cycle = idle;
+        self
+    }
+}
+
+/// Per-application parameters for composite targets (equation C2):
+/// unoptimized latency `L0` (cycles) and energy `E0` (same units as
+/// [`EnergyParams`], i.e. max-per-cycle-energy × cycles).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AppParams {
+    /// Unoptimized program latency in cycles.
+    pub l0: f64,
+    /// Unoptimized program energy.
+    pub e0: f64,
+    /// Unoptimized IPC (`BWSEQmt`, equation L6).
+    pub bw_seq_mt: f64,
+}
+
+impl AppParams {
+    /// Builds from an energy/latency *ratio* when absolute values are
+    /// unavailable — the paper notes `E0/L0` may be easier to measure.
+    /// Uses a large nominal `L0` as the text prescribes.
+    pub fn from_ratio(e0_over_l0: f64, bw_seq_mt: f64) -> AppParams {
+        let l0 = 1.0e8;
+        AppParams {
+            l0,
+            e0: l0 * e0_over_l0,
+            bw_seq_mt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let m = MachineParams::default();
+        assert_eq!(m.bw_seq_proc, 6.0);
+        assert_eq!(m.mem_latency, 200.0);
+        let e = EnergyParams::default();
+        assert!((e.e_fetch_per_access - 0.09).abs() < 1e-12);
+        assert!((e.e_idle_per_cycle - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_load_latency_blends_levels() {
+        let m = MachineParams::default();
+        assert_eq!(m.expected_load_latency(0.0, 0.0), 2.0);
+        assert_eq!(m.expected_load_latency(1.0, 0.0), 14.0);
+        assert_eq!(m.expected_load_latency(1.0, 1.0), 214.0);
+        assert_eq!(m.expected_load_latency(0.5, 0.25), 2.0 + 6.0 + 50.0);
+    }
+
+    #[test]
+    fn idle_factor_sweep() {
+        let e = EnergyParams::default().with_idle_factor(0.10);
+        assert_eq!(e.e_idle_per_cycle, 0.10);
+        assert_eq!(e.e_l2_per_access, 0.136);
+    }
+
+    #[test]
+    fn ratio_construction_preserves_ratio() {
+        let a = AppParams::from_ratio(0.4, 1.5);
+        assert!((a.e0 / a.l0 - 0.4).abs() < 1e-12);
+        assert_eq!(a.bw_seq_mt, 1.5);
+    }
+}

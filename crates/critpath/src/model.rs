@@ -1,0 +1,286 @@
+//! The critical-path model over a concrete trace: baseline execution-time
+//! estimate, Figure 2 breakdown, and the criticality-based load cost
+//! functions that PTHSEL+E consumes.
+
+use crate::graph::{longest_path, Breakdown, NodeInput, PathResult};
+use crate::{CritPathConfig, LoadCost};
+use preexec_bpred::{HybridPredictor, PredictorConfig};
+use preexec_isa::{InstClass, Pc};
+use preexec_mem::Level;
+use preexec_trace::{MemAnnotation, Trace};
+
+/// A dependence-graph critical-path model bound to one trace.
+///
+/// Construction replays the trace through the shared branch predictor (to
+/// place misprediction edges) and snapshots per-instruction latencies from
+/// the memory annotation. Evaluations with hypothetically reduced load
+/// latencies then share that base state.
+///
+/// # Examples
+///
+/// ```
+/// use preexec_critpath::{CritPathConfig, CritPathModel};
+/// use preexec_isa::{ProgramBuilder, Reg};
+/// use preexec_mem::HierarchyConfig;
+/// use preexec_trace::{FuncSim, MemAnnotation};
+///
+/// let mut b = ProgramBuilder::new("p");
+/// b.li(Reg::new(1), 1).addi(Reg::new(1), Reg::new(1), 2).halt();
+/// let prog = b.build();
+/// let trace = FuncSim::new(&prog).run_trace(100);
+/// let ann = MemAnnotation::compute(&trace, HierarchyConfig::default());
+/// let model = CritPathModel::new(&trace, &ann, CritPathConfig::default());
+/// assert!(model.execution_time() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CritPathModel<'t> {
+    trace: &'t Trace,
+    cfg: CritPathConfig,
+    base: Vec<NodeInput>,
+    l2_hit_latency: u64,
+    mem_miss_latency: u64,
+    baseline: PathResult,
+}
+
+impl<'t> CritPathModel<'t> {
+    /// Builds the model for `trace` with memory levels from `ann`.
+    pub fn new(trace: &'t Trace, ann: &MemAnnotation, cfg: CritPathConfig) -> CritPathModel<'t> {
+        let mut bpred = HybridPredictor::new(PredictorConfig::default());
+        let hier = ann.config();
+        let l2_hit_latency = hier.l1d.latency + hier.l2.latency;
+        let mem_miss_latency = l2_hit_latency + hier.mem_latency;
+        let base: Vec<NodeInput> = trace
+            .iter()
+            .map(|e| {
+                let mispredicted = match e.taken {
+                    Some(taken) => !bpred.update(e.pc, taken),
+                    None => false,
+                };
+                let served = ann.served(e.seq);
+                let latency = match e.inst.class() {
+                    InstClass::Load => ann.latency(e.seq),
+                    InstClass::Store => 1, // retire-time write, off the path
+                    InstClass::IntMul => cfg.mul_latency,
+                    InstClass::Branch | InstClass::Jump | InstClass::IntAlu => 1,
+                    InstClass::Other => 1,
+                };
+                NodeInput {
+                    latency,
+                    served,
+                    mispredicted,
+                }
+            })
+            .collect();
+        let baseline = longest_path(trace, &base, &cfg);
+        CritPathModel {
+            trace,
+            cfg,
+            base,
+            l2_hit_latency,
+            mem_miss_latency,
+            baseline,
+        }
+    }
+
+    /// The model's predicted unoptimized execution time in cycles.
+    pub fn execution_time(&self) -> u64 {
+        self.baseline.cycles
+    }
+
+    /// The model's predicted unoptimized IPC (the paper's `BWSEQmt`).
+    pub fn ipc(&self) -> f64 {
+        if self.baseline.cycles == 0 {
+            0.0
+        } else {
+            self.trace.len() as f64 / self.baseline.cycles as f64
+        }
+    }
+
+    /// The Figure 2 execution-time breakdown of the baseline.
+    pub fn breakdown(&self) -> Breakdown {
+        self.baseline.breakdown
+    }
+
+    /// Full miss latency minus L2-hit latency: the cycles of one miss a
+    /// perfect prefetch can remove (the paper's `Lcm` tolerable portion).
+    pub fn tolerable_cycles(&self) -> u64 {
+        self.mem_miss_latency - self.l2_hit_latency
+    }
+
+    /// Evaluates a hypothetical execution where the L2 misses of the static
+    /// load at `pc` are reduced by `fraction` of their tolerable latency,
+    /// and, when `others_resolved`, every other L2 miss is fully resolved
+    /// to an L2 hit (the optimistic interaction-cost variant).
+    pub fn time_with_reduction(&self, pc: Pc, fraction: f64, others_resolved: bool) -> u64 {
+        let mut inputs = self.base.clone();
+        for (i, e) in self.trace.iter().enumerate() {
+            if !e.inst.is_load() || inputs[i].served != Some(Level::Mem) {
+                continue;
+            }
+            if e.pc == pc {
+                let tol = (self.mem_miss_latency - self.l2_hit_latency) as f64;
+                let reduced = self.mem_miss_latency as f64 - fraction * tol;
+                inputs[i].latency = reduced.round() as u64;
+            } else if others_resolved {
+                inputs[i].latency = self.l2_hit_latency;
+                inputs[i].served = Some(Level::L2);
+            }
+        }
+        longest_path(self.trace, &inputs, &self.cfg).cycles
+    }
+
+    /// Computes the criticality-based load cost function for the problem
+    /// load at `pc`, averaging the pessimistic (only this load is helped)
+    /// and optimistic (all contemporaneous misses resolved) critical-path
+    /// estimates, exactly as §4.1 of the paper prescribes. The function is
+    /// sampled at 25/50/75/100% latency reduction and linearly
+    /// interpolated between samples.
+    pub fn load_cost(&self, pc: Pc) -> LoadCost {
+        self.load_cost_with(pc, InteractionModel::Averaged)
+    }
+
+    /// Like [`CritPathModel::load_cost`] but with an explicit
+    /// interaction-cost treatment — the §4.1 ablation knob. The paper
+    /// argues pure pessimism under-selects (overlapped misses all look
+    /// non-critical) and pure optimism over-selects (like classic PTHSEL);
+    /// averaging the two is its chosen compromise.
+    pub fn load_cost_with(&self, pc: Pc, interaction: InteractionModel) -> LoadCost {
+        let misses = self
+            .trace
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| e.pc == pc && e.inst.is_load() && self.base[*i].served == Some(Level::Mem))
+            .count() as u64;
+        let tol_max = self.tolerable_cycles() as f64;
+        if misses == 0 {
+            return LoadCost::flat(pc, 0, tol_max);
+        }
+        let t_pess_base = self.baseline.cycles as f64;
+        let t_opt_base = self.time_with_reduction(pc, 0.0, true) as f64;
+        let mut points = Vec::with_capacity(5);
+        points.push((0.0, 0.0));
+        for &frac in &[0.25, 0.5, 0.75, 1.0] {
+            let d_pess = || t_pess_base - self.time_with_reduction(pc, frac, false) as f64;
+            let d_opt = || t_opt_base - self.time_with_reduction(pc, frac, true) as f64;
+            let per_miss = match interaction {
+                InteractionModel::Pessimistic => d_pess(),
+                InteractionModel::Optimistic => d_opt(),
+                InteractionModel::Averaged => 0.5 * (d_pess() + d_opt()),
+            } / misses as f64;
+            points.push((frac * tol_max, per_miss.max(0.0)));
+        }
+        LoadCost::from_points(pc, misses, tol_max, points)
+    }
+}
+
+/// How contemporaneous-miss interaction costs are approximated when
+/// sampling a load's cost function (§4.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum InteractionModel {
+    /// Only the targeted load's misses are reduced; overlapped misses make
+    /// every individual load look non-critical.
+    Pessimistic,
+    /// All other L2 misses are assumed resolved, like classic PTHSEL but
+    /// with secondary-path awareness.
+    Optimistic,
+    /// The paper's choice: the mean of the two estimates.
+    #[default]
+    Averaged,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_mem::HierarchyConfig;
+    use preexec_trace::FuncSim;
+    use preexec_workloads::{build, InputSet};
+
+    fn model_for(name: &str) -> (preexec_isa::Program, Trace) {
+        let p = build(name, InputSet::Train).unwrap();
+        let t = FuncSim::new(&p).run_trace(150_000);
+        (p, t)
+    }
+
+    #[test]
+    fn mcf_is_memory_dominated() {
+        let (_, t) = model_for("mcf");
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let m = CritPathModel::new(&t, &ann, CritPathConfig::default());
+        let b = m.breakdown();
+        let mem_frac = b.mem / b.total();
+        assert!(
+            mem_frac > 0.6,
+            "mcf memory fraction {mem_frac} should dominate"
+        );
+    }
+
+    #[test]
+    fn gcc_is_less_memory_bound_than_mcf() {
+        let (_, tg) = model_for("gcc");
+        let anng = MemAnnotation::compute(&tg, HierarchyConfig::default());
+        let mg = CritPathModel::new(&tg, &anng, CritPathConfig::default());
+        let (_, tm) = model_for("mcf");
+        let annm = MemAnnotation::compute(&tm, HierarchyConfig::default());
+        let mm = CritPathModel::new(&tm, &annm, CritPathConfig::default());
+        let fg = mg.breakdown().mem / mg.breakdown().total();
+        let fm = mm.breakdown().mem / mm.breakdown().total();
+        assert!(fg < fm, "gcc {fg} should be below mcf {fm}");
+    }
+
+    #[test]
+    fn cost_function_is_monotone_and_bounded() {
+        let (p, t) = model_for("gap");
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let prof = preexec_trace::Profile::compute(&p, &t, &ann);
+        let target = prof.problem_loads(&p, 100)[0].pc;
+        let m = CritPathModel::new(&t, &ann, CritPathConfig::default());
+        let cost = m.load_cost(target);
+        let tol = m.tolerable_cycles() as f64;
+        let mut last = 0.0;
+        for k in 0..=8 {
+            let x = tol * k as f64 / 8.0;
+            let g = cost.gain(x);
+            assert!(g + 1e-9 >= last, "gain must be nondecreasing");
+            assert!(g <= x + 1e-9, "per-miss gain {g} cannot exceed tolerated {x}");
+            last = g;
+        }
+    }
+
+    #[test]
+    fn overlapped_misses_have_sublinear_cost() {
+        // mcf's misses overlap heavily: the per-miss gain at full
+        // tolerance must be well below the tolerable latency.
+        let (p, t) = model_for("mcf");
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let prof = preexec_trace::Profile::compute(&p, &t, &ann);
+        let target = prof.problem_loads(&p, 100)[0].pc;
+        let m = CritPathModel::new(&t, &ann, CritPathConfig::default());
+        let cost = m.load_cost(target);
+        let tol = m.tolerable_cycles() as f64;
+        assert!(
+            cost.gain(tol) < 0.8 * tol,
+            "mcf per-miss gain {} should be sublinear vs {}",
+            cost.gain(tol),
+            tol
+        );
+    }
+
+    #[test]
+    fn ipc_is_sane() {
+        let (_, t) = model_for("gcc");
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let m = CritPathModel::new(&t, &ann, CritPathConfig::default());
+        let ipc = m.ipc();
+        assert!(ipc > 0.05 && ipc < 6.0, "ipc {ipc}");
+    }
+
+    #[test]
+    fn unknown_load_yields_flat_zero_cost() {
+        let (_, t) = model_for("gap");
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let m = CritPathModel::new(&t, &ann, CritPathConfig::default());
+        let cost = m.load_cost(99999);
+        assert_eq!(cost.misses(), 0);
+        assert_eq!(cost.gain(100.0), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Energy computation: per-access constants, idle energy, and the paper's
+//! Figure 2/3 energy-breakdown categories.
+
+use serde::{Deserialize, Serialize};
+use crate::AccessCounts;
+
+/// Per-access energy constants in units of the processor's maximum
+/// per-cycle energy, plus the idle energy factor. Defaults follow the
+/// paper's §4.2 constants (`Ef/a` 9%, `Exall/a` 4.9%, `Exalu/a` 0.8%,
+/// `Exload/a` 3.8%, `EL2/a` 13.6%, `Eidle/c` 5%) with a ROB+predictor
+/// per-instruction charge sized so the unoptimized per-structure shares
+/// resemble the paper's Wattch breakdown.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct EnergyConfig {
+    /// Instruction-cache energy per block access.
+    pub e_icache: f64,
+    /// Decode/rename/window/regfile/result-bus energy per instruction.
+    pub e_xall: f64,
+    /// Extra energy per ALU operation.
+    pub e_alu: f64,
+    /// Extra energy per D-cache/TLB/LSQ access.
+    pub e_dcache: f64,
+    /// Energy per L2 access.
+    pub e_l2: f64,
+    /// ROB + branch-predictor energy per main-thread instruction.
+    pub e_rob_bpred: f64,
+    /// Idle energy consumed every cycle regardless of activity — the
+    /// fraction of maximum per-cycle energy that clock gating cannot
+    /// remove. The paper's default is 5%.
+    pub idle_factor: f64,
+}
+
+impl Default for EnergyConfig {
+    fn default() -> Self {
+        EnergyConfig {
+            e_icache: 0.09,
+            e_xall: 0.049,
+            e_alu: 0.008,
+            e_dcache: 0.038,
+            e_l2: 0.136,
+            e_rob_bpred: 0.022,
+            idle_factor: 0.05,
+        }
+    }
+}
+
+impl EnergyConfig {
+    /// Returns a copy with the idle-energy factor replaced (the Figure 5
+    /// sweep).
+    pub fn with_idle_factor(mut self, idle: f64) -> Self {
+        self.idle_factor = idle;
+        self
+    }
+}
+
+/// An energy total decomposed into the categories of the paper's energy
+/// graphs, in units of max-per-cycle energy × cycles.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Main-thread instruction-memory energy.
+    pub imem_main: f64,
+    /// Main-thread data-memory (D-cache/TLB/LSQ) energy.
+    pub dmem_main: f64,
+    /// Main-thread-caused L2 energy.
+    pub l2_main: f64,
+    /// Main-thread decode + out-of-order engine energy (rename, window,
+    /// regfile, result bus, ALUs).
+    pub dec_ooo_main: f64,
+    /// ROB + branch-predictor energy (main thread only).
+    pub rob_bpred: f64,
+    /// Idle (ungated) energy.
+    pub idle: f64,
+    /// P-thread instruction-memory energy.
+    pub imem_pth: f64,
+    /// P-thread data-memory energy.
+    pub dmem_pth: f64,
+    /// P-thread-caused L2 energy.
+    pub l2_pth: f64,
+    /// P-thread decode + out-of-order engine energy.
+    pub dec_ooo_pth: f64,
+}
+
+impl EnergyBreakdown {
+    /// Computes the breakdown for a run of `cycles` with the given access
+    /// counts.
+    pub fn compute(counts: &AccessCounts, cycles: u64, cfg: &EnergyConfig) -> EnergyBreakdown {
+        EnergyBreakdown {
+            imem_main: counts.imem_main as f64 * cfg.e_icache,
+            dmem_main: counts.dmem_main as f64 * cfg.e_dcache,
+            l2_main: counts.l2_main as f64 * cfg.e_l2,
+            dec_ooo_main: counts.dispatch_main as f64 * cfg.e_xall
+                + counts.alu_main as f64 * cfg.e_alu,
+            rob_bpred: counts.rob_bpred as f64 * cfg.e_rob_bpred,
+            idle: cycles as f64 * cfg.idle_factor,
+            imem_pth: counts.imem_pth as f64 * cfg.e_icache,
+            dmem_pth: counts.dmem_pth as f64 * cfg.e_dcache,
+            l2_pth: counts.l2_pth as f64 * cfg.e_l2,
+            dec_ooo_pth: counts.dispatch_pth as f64 * cfg.e_xall
+                + counts.alu_pth as f64 * cfg.e_alu,
+        }
+    }
+
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.main_total() + self.pthread_total() + self.idle
+    }
+
+    /// Energy attributable to main-thread activity (excluding idle).
+    pub fn main_total(&self) -> f64 {
+        self.imem_main + self.dmem_main + self.l2_main + self.dec_ooo_main + self.rob_bpred
+    }
+
+    /// Energy attributable to p-thread activity.
+    pub fn pthread_total(&self) -> f64 {
+        self.imem_pth + self.dmem_pth + self.l2_pth + self.dec_ooo_pth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> AccessCounts {
+        AccessCounts {
+            imem_main: 100,
+            imem_pth: 10,
+            dmem_main: 50,
+            dmem_pth: 5,
+            l2_main: 20,
+            l2_pth: 8,
+            dispatch_main: 600,
+            dispatch_pth: 60,
+            alu_main: 400,
+            alu_pth: 40,
+            rob_bpred: 600,
+        }
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let b = EnergyBreakdown::compute(&counts(), 1000, &EnergyConfig::default());
+        let parts = b.imem_main
+            + b.dmem_main
+            + b.l2_main
+            + b.dec_ooo_main
+            + b.rob_bpred
+            + b.idle
+            + b.imem_pth
+            + b.dmem_pth
+            + b.l2_pth
+            + b.dec_ooo_pth;
+        assert!((b.total() - parts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_scales_with_cycles() {
+        let cfg = EnergyConfig::default();
+        let short = EnergyBreakdown::compute(&counts(), 1000, &cfg);
+        let long = EnergyBreakdown::compute(&counts(), 2000, &cfg);
+        assert!((long.idle - 2.0 * short.idle).abs() < 1e-9);
+        assert_eq!(long.main_total(), short.main_total());
+    }
+
+    #[test]
+    fn zero_idle_factor_removes_idle_energy() {
+        let cfg = EnergyConfig::default().with_idle_factor(0.0);
+        let b = EnergyBreakdown::compute(&counts(), 1_000_000, &cfg);
+        assert_eq!(b.idle, 0.0);
+        assert!(b.total() > 0.0);
+    }
+
+    #[test]
+    fn pthread_energy_is_linear_in_pinsts() {
+        let cfg = EnergyConfig::default();
+        let mut c2 = counts();
+        c2.dispatch_pth *= 2;
+        c2.alu_pth *= 2;
+        c2.imem_pth *= 2;
+        c2.dmem_pth *= 2;
+        c2.l2_pth *= 2;
+        let b1 = EnergyBreakdown::compute(&counts(), 1000, &cfg);
+        let b2 = EnergyBreakdown::compute(&c2, 1000, &cfg);
+        assert!((b2.pthread_total() - 2.0 * b1.pthread_total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_access_constants_match_paper() {
+        let cfg = EnergyConfig::default();
+        assert!((cfg.e_icache - 0.09).abs() < 1e-12);
+        assert!((cfg.e_xall + cfg.e_alu - 0.057).abs() < 1e-12);
+        assert!((cfg.e_l2 - 0.136).abs() < 1e-12);
+        assert!((cfg.idle_factor - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! # preexec-energy
+//!
+//! Wattch-style architectural energy accounting for the pre-execution
+//! reproduction. The timing simulator emits raw [`AccessCounts`] (split
+//! between main-thread and p-thread activity); [`EnergyBreakdown`]
+//! converts them, plus a cycle count, into the energy categories of the
+//! paper's Figure 2/3 right-hand graphs using per-access constants and an
+//! idle-energy factor ([`EnergyConfig`]).
+//!
+//! The original Wattch/CACTI stack modeled structure geometry to derive
+//! per-access energies; here those energies are direct parameters, set by
+//! default to the constants the paper publishes in §4.2. That is exactly
+//! the level of detail PTHSEL+E itself consumes (equation E8), so nothing
+//! the selection framework depends on is lost by the substitution.
+//!
+//! # Examples
+//!
+//! ```
+//! use preexec_energy::{AccessCounts, EnergyBreakdown, EnergyConfig};
+//! let counts = AccessCounts { dispatch_main: 1000, ..AccessCounts::new() };
+//! let b = EnergyBreakdown::compute(&counts, 500, &EnergyConfig::default());
+//! assert!(b.total() > b.idle);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod breakdown;
+mod counts;
+
+pub use breakdown::{EnergyBreakdown, EnergyConfig};
+pub use counts::AccessCounts;

@@ -1,0 +1,81 @@
+//! `repro` — regenerates any table or figure of the paper.
+//!
+//! Usage: `repro [--json] <experiment>...` where experiment is one of
+//! `fig2 fig3 fig4 fig5a fig5b fig5c tab12 tab3 ed2 all`.
+//!
+//! With `--json`, results are emitted as machine-readable JSON (one
+//! object per experiment) instead of text tables.
+
+use preexec_harness::{experiments, ExpConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--json] <fig2|fig3|fig4|fig5a|fig5b|fig5c|tab12|tab3|ed2|branch|cfg|combined|all>");
+    std::process::exit(2);
+}
+
+fn run_one(id: &str, cfg: &ExpConfig, json: bool) {
+    macro_rules! emit {
+        ($value:expr) => {{
+            let v = $value;
+            if json {
+                println!(
+                    "{}",
+                    serde_json::json!({ "experiment": id, "data": v })
+                );
+            } else {
+                print!("{v}");
+            }
+        }};
+    }
+    match id {
+        "fig2" => emit!(experiments::fig2::run(cfg)),
+        "fig3" => emit!(experiments::fig3::run(cfg)),
+        "fig4" => emit!(experiments::fig4::run(cfg)),
+        "fig5a" => emit!(experiments::fig5::idle_factor_sweep(cfg)),
+        "fig5b" => emit!(experiments::fig5::mem_latency_sweep(cfg)),
+        "fig5c" => emit!(experiments::fig5::l2_sweep(cfg)),
+        "tab12" => emit!(experiments::tab12::run(cfg)),
+        "tab3" => emit!(experiments::tab3::run(cfg)),
+        "ed2" => emit!(experiments::ed2::run(cfg)),
+        "branch" => emit!(experiments::branch::run(cfg)),
+        "cfg" => emit!(experiments::cfgsweep::run(cfg)),
+        "combined" => emit!(experiments::branch::run_combined_all(cfg)),
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let mut json = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--json" {
+                json = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cfg = ExpConfig::default();
+    for id in &args {
+        if id == "all" {
+            for x in [
+                "tab12", "fig2", "fig3", "tab3", "fig4", "fig5a", "fig5b", "fig5c", "ed2", "branch", "cfg", "combined",
+            ] {
+                if !json {
+                    println!("==== {x} ====");
+                }
+                run_one(x, &cfg, json);
+                if !json {
+                    println!();
+                }
+            }
+        } else {
+            run_one(id, &cfg, json);
+        }
+    }
+}

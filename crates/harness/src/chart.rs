@@ -1,0 +1,116 @@
+//! Minimal ASCII chart rendering for the regenerated figures.
+
+use std::fmt::Write as _;
+
+/// Renders signed horizontal bars: positive values extend right of the
+/// axis, negative values left, scaled to the largest magnitude.
+///
+/// # Examples
+///
+/// ```
+/// use preexec_harness::signed_bars;
+/// let s = signed_bars("gains", &[("a".into(), 10.0), ("b".into(), -5.0)], 20);
+/// assert!(s.contains("a"));
+/// assert!(s.contains('#'));
+/// ```
+pub fn signed_bars(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let max = rows
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(0.0_f64, f64::max)
+        .max(1e-9);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let half = width / 2;
+    for (label, v) in rows {
+        let n = ((v.abs() / max) * half as f64).round() as usize;
+        let (left, right) = if *v < 0.0 {
+            (format!("{}{}", " ".repeat(half - n), "#".repeat(n)), String::new())
+        } else {
+            (" ".repeat(half), "#".repeat(n))
+        };
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} {left}|{right} {v:+.1}",
+        );
+    }
+    out
+}
+
+/// Renders 100%-normalized stacked bars: each row's segments are drawn
+/// with their own fill characters, scaled so that `total_scale` maps to
+/// `width` characters.
+///
+/// # Examples
+///
+/// ```
+/// use preexec_harness::stacked_bars;
+/// let rows = vec![("N".to_string(), vec![('m', 60.0), ('f', 40.0)])];
+/// let s = stacked_bars("breakdown", &rows, 100.0, 40);
+/// assert!(s.contains('m'));
+/// assert!(s.contains('f'));
+/// ```
+pub fn stacked_bars(
+    title: &str,
+    rows: &[(String, Vec<(char, f64)>)],
+    total_scale: f64,
+    width: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let scale = width as f64 / total_scale.max(1e-9);
+    for (label, segs) in rows {
+        let mut bar = String::new();
+        for (ch, v) in segs {
+            let n = (v * scale).round().max(0.0) as usize;
+            bar.extend(std::iter::repeat_n(*ch, n));
+        }
+        let total: f64 = segs.iter().map(|(_, v)| v).sum();
+        let _ = writeln!(out, "{label:<label_w$} |{bar}| {total:.0}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_bars_direction() {
+        let s = signed_bars(
+            "t",
+            &[("pos".into(), 8.0), ("neg".into(), -8.0), ("zero".into(), 0.0)],
+            20,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Positive bar sits right of the axis, negative left.
+        let pos = lines[1];
+        let neg = lines[2];
+        assert!(pos.find('#').unwrap() > pos.find('|').unwrap());
+        assert!(neg.find('#').unwrap() < neg.find('|').unwrap());
+        assert!(!lines[3].contains('#'));
+    }
+
+    #[test]
+    fn stacked_bars_lengths_scale() {
+        let rows = vec![
+            ("a".to_string(), vec![('x', 50.0), ('y', 50.0)]),
+            ("b".to_string(), vec![('x', 25.0)]),
+        ];
+        let s = stacked_bars("t", &rows, 100.0, 40);
+        let lines: Vec<&str> = s.lines().collect();
+        let count = |l: &str, c: char| l.chars().filter(|&x| x == c).count();
+        assert_eq!(count(lines[1], 'x'), 20);
+        assert_eq!(count(lines[1], 'y'), 20);
+        assert_eq!(count(lines[2], 'x'), 10);
+    }
+
+    #[test]
+    fn empty_rows_do_not_panic() {
+        assert!(signed_bars("t", &[], 20).contains('t'));
+        assert!(stacked_bars("t", &[], 100.0, 40).contains('t'));
+    }
+}

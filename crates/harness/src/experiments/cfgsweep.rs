@@ -1,0 +1,106 @@
+//! Selection-algorithm configuration sensitivity.
+//!
+//! §3.1 notes that PTHSEL "is sensitive to algorithm configuration and
+//! certain microarchitectural parameters" and fixes the defaults at a
+//! 2048-instruction slicing window with 64 instructions per linear
+//! p-thread. This experiment sweeps both knobs and reports how L-p-thread
+//! quality responds: windows too small cannot hoist triggers far enough to
+//! cover a full miss; body caps too small truncate slices below the
+//! distance the tolerance requires.
+
+use crate::{pct, ExpConfig, Prepared, TextTable};
+use preexec_slicer::SliceConfig;
+use pthsel::SelectionTarget;
+use serde::Serialize;
+use std::fmt;
+
+/// One sweep point.
+#[derive(Clone, Debug, Serialize)]
+pub struct CfgCell {
+    /// Benchmark name.
+    pub bench: String,
+    /// Slicing window (dynamic instructions).
+    pub window: u64,
+    /// Max instructions per linear p-thread.
+    pub max_body: usize,
+    /// %IPC gain of L-p-threads at this configuration.
+    pub ipc_gain: f64,
+    /// Fraction of baseline misses covered (fully + partially).
+    pub coverage: f64,
+    /// Average selected body length.
+    pub avg_len: f64,
+}
+
+/// The configuration-sensitivity data set.
+#[derive(Clone, Debug, Serialize)]
+pub struct CfgSweep {
+    /// All sweep points.
+    pub cells: Vec<CfgCell>,
+}
+
+/// Benchmarks used for the sweep (one shallow-slice, one deep-slice).
+pub const BENCHES: [&str; 2] = ["gap", "bzip2"];
+
+/// Window values swept (default 2048 in the middle).
+pub const WINDOWS: [u64; 3] = [256, 2048, 8192];
+
+/// Body caps swept (default 64).
+pub const BODY_CAPS: [usize; 2] = [12, 64];
+
+/// Runs the sweep.
+pub fn run(cfg: &ExpConfig) -> CfgSweep {
+    let mut cells = Vec::new();
+    for name in BENCHES {
+        for &window in &WINDOWS {
+            for &max_body in &BODY_CAPS {
+                let mut c = *cfg;
+                c.slice = SliceConfig {
+                    window,
+                    max_body,
+                    ..c.slice
+                };
+                let prep = Prepared::build(name, &c);
+                let r = prep.evaluate(SelectionTarget::Latency);
+                let base_misses = prep.baseline.l2_misses_demand.max(1) as f64;
+                cells.push(CfgCell {
+                    bench: name.to_string(),
+                    window,
+                    max_body,
+                    ipc_gain: r.latency_gain_pct(&prep.baseline),
+                    coverage: (r.report.covered_full + r.report.covered_partial) as f64
+                        / base_misses,
+                    avg_len: r.selection.avg_body_len(),
+                });
+            }
+        }
+    }
+    CfgSweep { cells }
+}
+
+impl fmt::Display for CfgSweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "§3.1 selection-configuration sensitivity (L-p-threads)\n"
+        )?;
+        let mut t = TextTable::new(vec![
+            "bench".into(),
+            "window".into(),
+            "max-body".into(),
+            "%IPC".into(),
+            "coverage".into(),
+            "avg-len".into(),
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                c.bench.clone(),
+                c.window.to_string(),
+                c.max_body.to_string(),
+                pct(c.ipc_gain),
+                format!("{:.0}%", c.coverage * 100.0),
+                format!("{:.1}", c.avg_len),
+            ]);
+        }
+        writeln!(f, "{t}")
+    }
+}

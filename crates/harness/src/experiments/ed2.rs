@@ -1,0 +1,86 @@
+//! §5.1 "ED²-oriented P²-p-threads": the paper reports that P²-p-threads
+//! behave like L-p-threads, that L-p-threads already improve ED² by ~19%
+//! on average, and that retargeting to ED² adds only ~1 point.
+
+use serde::Serialize;
+use crate::experiments::{eval_benchmarks, gmean_pct};
+use crate::{pct, ExpConfig, TextTable};
+use preexec_workloads::NAMES;
+use pthsel::SelectionTarget;
+use std::fmt;
+
+/// The ED² comparison data.
+#[derive(Clone, Debug, Serialize)]
+pub struct Ed2 {
+    /// Benchmark names.
+    pub benches: Vec<String>,
+    /// %ED² improvement of L-p-threads per benchmark.
+    pub l_ed2: Vec<f64>,
+    /// %ED² improvement of P²-p-threads per benchmark.
+    pub p2_ed2: Vec<f64>,
+}
+
+/// Runs the comparison across all benchmarks.
+pub fn run(cfg: &ExpConfig) -> Ed2 {
+    let evals = eval_benchmarks(
+        &NAMES,
+        cfg,
+        &[SelectionTarget::Latency, SelectionTarget::Ed2],
+    );
+    let mut benches = Vec::new();
+    let mut l_ed2 = Vec::new();
+    let mut p2_ed2 = Vec::new();
+    for ev in &evals {
+        let base = &ev.prep.baseline;
+        let ecfg = &ev.prep.cfg.energy;
+        benches.push(ev.prep.name.clone());
+        l_ed2.push(
+            ev.result(SelectionTarget::Latency)
+                .expect("evaluated")
+                .ed2_save_pct(base, ecfg),
+        );
+        p2_ed2.push(
+            ev.result(SelectionTarget::Ed2)
+                .expect("evaluated")
+                .ed2_save_pct(base, ecfg),
+        );
+    }
+    Ed2 {
+        benches,
+        l_ed2,
+        p2_ed2,
+    }
+}
+
+impl Ed2 {
+    /// Geometric-mean %ED² improvement of L-p-threads.
+    pub fn gmean_l(&self) -> f64 {
+        gmean_pct(self.l_ed2.iter().copied())
+    }
+
+    /// Geometric-mean %ED² improvement of P²-p-threads.
+    pub fn gmean_p2(&self) -> f64 {
+        gmean_pct(self.p2_ed2.iter().copied())
+    }
+}
+
+impl fmt::Display for Ed2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§5.1: ED² improvements — L-p-threads vs P²-p-threads\n")?;
+        let mut t = TextTable::new(vec!["bench".into(), "L %ED2".into(), "P2 %ED2".into()]);
+        for i in 0..self.benches.len() {
+            t.row(vec![
+                self.benches[i].clone(),
+                pct(self.l_ed2[i]),
+                pct(self.p2_ed2[i]),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "GMean: L = {}, P2 = {}",
+            pct(self.gmean_l()),
+            pct(self.gmean_p2())
+        )
+    }
+}

@@ -1,0 +1,251 @@
+//! Figure 2: execution-time (critical-path) and energy breakdowns of the
+//! unoptimized executions (N) and classic-PTHSEL pre-execution (O).
+//!
+//! The N latency breakdown comes from the dependence-graph critical-path
+//! model. For the O bars the components are derived from the simulated
+//! optimized run: exec/commit components carry over from N, the
+//! memory-side components shrink according to the simulated cycle
+//! reduction, and fetch absorbs the residual — reproducing the paper's
+//! observation that pre-execution trades L2/mem stall for main-thread
+//! fetch pressure.
+
+use serde::Serialize;
+use crate::experiments::{eval_benchmarks, BenchEval};
+use crate::{ExpConfig, TextTable};
+use preexec_energy::EnergyBreakdown;
+use preexec_workloads::NAMES;
+use pthsel::SelectionTarget;
+use std::fmt;
+
+/// A five-component latency bar, normalized so that N totals 100.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct LatencyBar {
+    /// Fetch bandwidth/latency incl. mispredictions and finite window.
+    pub fetch: f64,
+    /// Commit bandwidth.
+    pub commit: f64,
+    /// Execution latency.
+    pub exec: f64,
+    /// L2-hit latency.
+    pub l2: f64,
+    /// Memory latency.
+    pub mem: f64,
+}
+
+impl LatencyBar {
+    /// Sum of the components.
+    pub fn total(&self) -> f64 {
+        self.fetch + self.commit + self.exec + self.l2 + self.mem
+    }
+}
+
+/// One benchmark's Figure 2 data.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig2Bench {
+    /// Benchmark name.
+    pub name: String,
+    /// Unoptimized latency bar (totals 100).
+    pub lat_n: LatencyBar,
+    /// Pre-execution latency bar (relative to N = 100).
+    pub lat_o: LatencyBar,
+    /// Unoptimized energy breakdown.
+    pub energy_n: EnergyBreakdown,
+    /// Pre-execution energy breakdown.
+    pub energy_o: EnergyBreakdown,
+}
+
+/// The full Figure 2 data set.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig2 {
+    /// Per-benchmark bars.
+    pub benches: Vec<Fig2Bench>,
+}
+
+/// Runs the experiment (all benchmarks, classic O-p-threads).
+pub fn run(cfg: &ExpConfig) -> Fig2 {
+    let evals = eval_benchmarks(&NAMES, cfg, &[SelectionTarget::Classic]);
+    from_evals(&evals)
+}
+
+/// Builds the figure from evaluations that include a Classic result.
+pub fn from_evals(evals: &[BenchEval]) -> Fig2 {
+    let mut benches = Vec::new();
+    for ev in evals {
+        let cp = &ev.prep.cp_breakdown;
+        let scale = 100.0 / cp.total().max(1e-9);
+        let lat_n = LatencyBar {
+            fetch: cp.fetch * scale,
+            commit: cp.commit * scale,
+            exec: cp.exec * scale,
+            l2: cp.l2 * scale,
+            mem: cp.mem * scale,
+        };
+        let o = ev
+            .result(SelectionTarget::Classic)
+            .expect("classic evaluated");
+        let o_total = 100.0 * o.report.cycles as f64 / ev.prep.baseline.cycles as f64;
+        // Coverage shrinks the memory components; exec/commit carry over;
+        // fetch absorbs the rest (p-thread contention).
+        let base_misses = ev.prep.baseline.l2_misses_demand.max(1) as f64;
+        let covered = (o.report.covered_full as f64
+            + 0.5 * o.report.covered_partial as f64)
+            .min(base_misses);
+        let mem_o = lat_n.mem * (1.0 - covered / base_misses);
+        let l2_o = lat_n.l2;
+        let exec_o = lat_n.exec;
+        let commit_o = lat_n.commit;
+        let fetch_o = (o_total - mem_o - l2_o - exec_o - commit_o).max(0.0);
+        let lat_o = LatencyBar {
+            fetch: fetch_o,
+            commit: commit_o,
+            exec: exec_o,
+            l2: l2_o,
+            mem: mem_o,
+        };
+        benches.push(Fig2Bench {
+            name: ev.prep.name.clone(),
+            lat_n,
+            lat_o,
+            energy_n: ev.prep.baseline.energy(&ev.prep.cfg.energy),
+            energy_o: o.report.energy(&ev.prep.cfg.energy),
+        });
+    }
+    Fig2 { benches }
+}
+
+impl fmt::Display for Fig2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 2: latency (critical path) and energy breakdowns, N = unoptimized, O = PTHSEL\n"
+        )?;
+        let mut t = TextTable::new(vec![
+            "bench".into(),
+            "run".into(),
+            "fetch".into(),
+            "commit".into(),
+            "exec".into(),
+            "L2".into(),
+            "mem".into(),
+            "total".into(),
+        ]);
+        for b in &self.benches {
+            for (tag, bar) in [("N", &b.lat_n), ("O", &b.lat_o)] {
+                t.row(vec![
+                    b.name.clone(),
+                    tag.into(),
+                    format!("{:.0}", bar.fetch),
+                    format!("{:.0}", bar.commit),
+                    format!("{:.0}", bar.exec),
+                    format!("{:.0}", bar.l2),
+                    format!("{:.0}", bar.mem),
+                    format!("{:.0}", bar.total()),
+                ]);
+            }
+        }
+        writeln!(f, "{t}")?;
+        let mut e = TextTable::new(vec![
+            "bench".into(),
+            "run".into(),
+            "imem".into(),
+            "dmem".into(),
+            "l2".into(),
+            "dec+OoO".into(),
+            "rob+bp".into(),
+            "idle".into(),
+            "pth".into(),
+            "total".into(),
+        ]);
+        let mut bars = Vec::new();
+        for b in &self.benches {
+            for (tag, bar) in [("N", &b.lat_n), ("O", &b.lat_o)] {
+                bars.push((
+                    format!("{}/{tag}", b.name),
+                    vec![
+                        ('m', bar.mem),
+                        ('2', bar.l2),
+                        ('x', bar.exec),
+                        ('c', bar.commit),
+                        ('f', bar.fetch),
+                    ],
+                ));
+            }
+        }
+        writeln!(
+            f,
+            "{}",
+            crate::stacked_bars(
+                "critical path (m=mem 2=L2 x=exec c=commit f=fetch; N=100)",
+                &bars,
+                120.0,
+                60,
+            )
+        )?;
+        for b in &self.benches {
+            let base = b.energy_n.total().max(1e-12);
+            for (tag, en) in [("N", &b.energy_n), ("O", &b.energy_o)] {
+                let s = 100.0 / base;
+                e.row(vec![
+                    b.name.clone(),
+                    tag.into(),
+                    format!("{:.0}", en.imem_main * s),
+                    format!("{:.0}", en.dmem_main * s),
+                    format!("{:.0}", en.l2_main * s),
+                    format!("{:.0}", en.dec_ooo_main * s),
+                    format!("{:.0}", en.rob_bpred * s),
+                    format!("{:.0}", en.idle * s),
+                    format!("{:.0}", en.pthread_total() * s),
+                    format!("{:.0}", en.total() * s),
+                ]);
+            }
+        }
+        writeln!(f, "{e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_bar_total() {
+        let bar = LatencyBar {
+            fetch: 10.0,
+            commit: 5.0,
+            exec: 40.0,
+            l2: 5.0,
+            mem: 40.0,
+        };
+        assert!((bar.total() - 100.0).abs() < 1e-12);
+        assert_eq!(LatencyBar::default().total(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_tables_and_bars() {
+        let fig = Fig2 {
+            benches: vec![Fig2Bench {
+                name: "toy".into(),
+                lat_n: LatencyBar {
+                    fetch: 10.0,
+                    commit: 0.0,
+                    exec: 40.0,
+                    l2: 10.0,
+                    mem: 40.0,
+                },
+                lat_o: LatencyBar {
+                    fetch: 20.0,
+                    commit: 0.0,
+                    exec: 40.0,
+                    l2: 10.0,
+                    mem: 10.0,
+                },
+                energy_n: preexec_energy::EnergyBreakdown::default(),
+                energy_o: preexec_energy::EnergyBreakdown::default(),
+            }],
+        };
+        let text = fig.to_string();
+        assert!(text.contains("toy"));
+        assert!(text.contains("critical path"));
+        assert!(text.contains('m'));
+    }
+}

@@ -1,0 +1,161 @@
+//! Figure 3: the retargeting study. For every benchmark and every p-thread
+//! flavour (O = classic PTHSEL, L = latency, E = energy, P = ED), report
+//! %IPC gain, %energy save, %ED save, and the pre-execution diagnostics
+//! (miss coverage, spawn usefulness, p-instruction increase, average
+//! p-thread length).
+
+use serde::Serialize;
+use crate::experiments::{eval_benchmarks, gmean_pct, BenchEval};
+use crate::{num1, pct, ExpConfig, TextTable};
+use preexec_workloads::NAMES;
+use pthsel::SelectionTarget;
+use std::fmt;
+
+/// The four flavours of Figure 3, in the paper's O/L/E/P order.
+pub const TARGETS: [SelectionTarget; 4] = [
+    SelectionTarget::Classic,
+    SelectionTarget::Latency,
+    SelectionTarget::Energy,
+    SelectionTarget::Ed,
+];
+
+/// One benchmark × target row of the figure.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Fig3Row {
+    /// %IPC (execution-time) gain vs. unoptimized.
+    pub ipc_gain: f64,
+    /// %energy saved vs. unoptimized.
+    pub energy_save: f64,
+    /// %ED saved vs. unoptimized.
+    pub ed_save: f64,
+    /// Fully covered misses as a fraction of baseline demand L2 misses.
+    pub cov_full: f64,
+    /// Partially covered misses as the same fraction.
+    pub cov_part: f64,
+    /// Useful spawns (covered ≥ 1 miss) as a fraction of spawns.
+    pub usefulness: f64,
+    /// P-instructions as a fraction of committed instructions.
+    pub pinst_increase: f64,
+    /// Average p-thread (static body) length.
+    pub avg_len: f64,
+}
+
+/// The full Figure 3 data set.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig3 {
+    /// Benchmark names, paper order.
+    pub benches: Vec<String>,
+    /// `rows[b][t]` for benchmark `b`, target `t` (in [`TARGETS`] order).
+    pub rows: Vec<Vec<Fig3Row>>,
+}
+
+/// Runs the experiment over every benchmark.
+pub fn run(cfg: &ExpConfig) -> Fig3 {
+    from_evals(&eval_benchmarks(&NAMES, cfg, &TARGETS))
+}
+
+/// Builds the figure from pre-computed evaluations (shared with Figure 4).
+pub fn from_evals(evals: &[BenchEval]) -> Fig3 {
+    let mut benches = Vec::new();
+    let mut rows = Vec::new();
+    for ev in evals {
+        benches.push(ev.prep.name.clone());
+        let base = &ev.prep.baseline;
+        let ecfg = &ev.prep.cfg.energy;
+        let base_misses = base.l2_misses_demand.max(1) as f64;
+        let row: Vec<Fig3Row> = ev
+            .results
+            .iter()
+            .map(|r| Fig3Row {
+                ipc_gain: r.latency_gain_pct(base),
+                energy_save: r.energy_save_pct(base, ecfg),
+                ed_save: r.ed_save_pct(base, ecfg),
+                cov_full: r.report.covered_full as f64 / base_misses,
+                cov_part: r.report.covered_partial as f64 / base_misses,
+                usefulness: r.report.usefulness(),
+                pinst_increase: r.report.pinst_overhead(),
+                avg_len: r.selection.avg_body_len(),
+            })
+            .collect();
+        rows.push(row);
+    }
+    Fig3 { benches, rows }
+}
+
+impl Fig3 {
+    /// Geometric-mean %IPC gain for target index `t`.
+    pub fn gmean_ipc(&self, t: usize) -> f64 {
+        gmean_pct(self.rows.iter().map(|r| r[t].ipc_gain))
+    }
+
+    /// Geometric-mean %energy save for target index `t`.
+    pub fn gmean_energy(&self, t: usize) -> f64 {
+        gmean_pct(self.rows.iter().map(|r| r[t].energy_save))
+    }
+
+    /// Geometric-mean %ED save for target index `t`.
+    pub fn gmean_ed(&self, t: usize) -> f64 {
+        gmean_pct(self.rows.iter().map(|r| r[t].ed_save))
+    }
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 3: p-threads targeting latency (L), energy (E), ED (P); classic PTHSEL (O)\n"
+        )?;
+        let mut t = TextTable::new(vec![
+            "bench".into(),
+            "tgt".into(),
+            "%IPC".into(),
+            "%energy".into(),
+            "%ED".into(),
+            "cov-full".into(),
+            "cov-part".into(),
+            "useful".into(),
+            "%p-inst".into(),
+            "avg-len".into(),
+        ]);
+        for (b, rows) in self.benches.iter().zip(&self.rows) {
+            for (tg, r) in TARGETS.iter().zip(rows) {
+                t.row(vec![
+                    b.clone(),
+                    tg.label().into(),
+                    pct(r.ipc_gain),
+                    pct(r.energy_save),
+                    pct(r.ed_save),
+                    format!("{:.0}%", r.cov_full * 100.0),
+                    format!("{:.0}%", r.cov_part * 100.0),
+                    format!("{:.0}%", r.usefulness * 100.0),
+                    format!("{:.0}%", r.pinst_increase * 100.0),
+                    num1(r.avg_len),
+                ]);
+            }
+        }
+        writeln!(f, "{t}")?;
+        let mut g = TextTable::new(vec![
+            "GMean".into(),
+            "%IPC".into(),
+            "%energy".into(),
+            "%ED".into(),
+        ]);
+        for (ti, tg) in TARGETS.iter().enumerate() {
+            g.row(vec![
+                tg.label().into(),
+                pct(self.gmean_ipc(ti)),
+                pct(self.gmean_energy(ti)),
+                pct(self.gmean_ed(ti)),
+            ]);
+        }
+        writeln!(f, "{g}")?;
+        // The figure's top graph as ASCII bars: one row per bench/target.
+        let mut rows = Vec::new();
+        for (b, brows) in self.benches.iter().zip(&self.rows) {
+            for (tg, r) in TARGETS.iter().zip(brows) {
+                rows.push((format!("{b}/{}", tg.label()), r.energy_save));
+            }
+        }
+        writeln!(f, "{}", crate::signed_bars("%energy saved (negative = cost)", &rows, 48))
+    }
+}

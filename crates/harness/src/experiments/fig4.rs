@@ -1,0 +1,40 @@
+//! Figure 4: robustness to profiling data. P-threads are selected from
+//! profiles of the *ref* input but evaluated on the *train* input run —
+//! realistic (cross-input) profiling instead of the ideal profiling of the
+//! primary study.
+
+use serde::Serialize;
+use crate::experiments::fig3::{Fig3, TARGETS};
+use crate::experiments::{eval_benchmarks, fig3};
+use crate::ExpConfig;
+use preexec_workloads::{InputSet, NAMES};
+use std::fmt;
+
+/// The Figure 4 data: same schema as Figure 3, but with cross-input
+/// profiling.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig4 {
+    /// The retargeting study under realistic profiling.
+    pub realistic: Fig3,
+}
+
+/// Runs the experiment over every benchmark.
+pub fn run(cfg: &ExpConfig) -> Fig4 {
+    let mut cross = *cfg;
+    cross.profile_input = InputSet::Ref;
+    cross.run_input = InputSet::Train;
+    let evals = eval_benchmarks(&NAMES, &cross, &TARGETS);
+    Fig4 {
+        realistic: fig3::from_evals(&evals),
+    }
+}
+
+impl fmt::Display for Fig4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 4: PTHSEL+E with realistic profiling (selected on ref, run on train)\n"
+        )?;
+        write!(f, "{}", self.realistic)
+    }
+}

@@ -1,0 +1,138 @@
+//! Figure 5: sensitivity of the three PTHSEL+E targets to
+//! microarchitecture parameters — the idle energy factor (top), memory
+//! latency (middle), and L2 cache size/latency (bottom). Each sweep shows
+//! three benchmarks, as in the paper: two representative and one
+//! "interesting".
+
+use serde::Serialize;
+use crate::experiments::{eval_benchmarks, BenchEval};
+use crate::{pct, ExpConfig, TextTable};
+use pthsel::SelectionTarget;
+use std::fmt;
+
+/// Targets swept in Figure 5 (L, E, P).
+pub const TARGETS: [SelectionTarget; 3] = [
+    SelectionTarget::Latency,
+    SelectionTarget::Energy,
+    SelectionTarget::Ed,
+];
+
+/// One (benchmark, parameter-value, target) cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct SweepCell {
+    /// Benchmark name.
+    pub bench: String,
+    /// The swept parameter's value, rendered.
+    pub param: String,
+    /// Target label (L/E/P).
+    pub target: &'static str,
+    /// %IPC gain vs. that parameter point's own baseline.
+    pub ipc_gain: f64,
+    /// %energy save.
+    pub energy_save: f64,
+    /// %ED save.
+    pub ed_save: f64,
+}
+
+/// One sweep (a sub-graph of Figure 5).
+#[derive(Clone, Debug, Serialize)]
+pub struct Sweep {
+    /// Sweep title.
+    pub title: String,
+    /// All cells, grouped by benchmark then parameter value.
+    pub cells: Vec<SweepCell>,
+}
+
+fn collect(title: &str, param: &str, evals: &[BenchEval], out: &mut Vec<SweepCell>) {
+    let _ = title;
+    for ev in evals {
+        let base = &ev.prep.baseline;
+        let ecfg = &ev.prep.cfg.energy;
+        for r in &ev.results {
+            out.push(SweepCell {
+                bench: ev.prep.name.clone(),
+                param: param.to_string(),
+                target: r.target.label(),
+                ipc_gain: r.latency_gain_pct(base),
+                energy_save: r.energy_save_pct(base, ecfg),
+                ed_save: r.ed_save_pct(base, ecfg),
+            });
+        }
+    }
+}
+
+/// Figure 5 top: idle energy factor ∈ {0%, 5%, 10%} on gap, vortex,
+/// vpr.route.
+pub fn idle_factor_sweep(cfg: &ExpConfig) -> Sweep {
+    let benches = ["gap", "vortex", "vpr.route"];
+    let mut cells = Vec::new();
+    for idle in [0.0, 0.05, 0.10] {
+        let mut c = *cfg;
+        c.energy = c.energy.with_idle_factor(idle);
+        let evals = eval_benchmarks(&benches, &c, &TARGETS);
+        collect("idle", &format!("{:.0}%", idle * 100.0), &evals, &mut cells);
+    }
+    Sweep {
+        title: "Idle Energy Factor".into(),
+        cells,
+    }
+}
+
+/// Figure 5 middle: memory latency ∈ {100, 200, 300} on gcc, twolf,
+/// vortex.
+pub fn mem_latency_sweep(cfg: &ExpConfig) -> Sweep {
+    let benches = ["gcc", "twolf", "vortex"];
+    let mut cells = Vec::new();
+    for lat in [100u64, 200, 300] {
+        let mut c = *cfg;
+        c.sim = c.sim.with_mem_latency(lat);
+        let evals = eval_benchmarks(&benches, &c, &TARGETS);
+        collect("mem", &format!("{lat}"), &evals, &mut cells);
+    }
+    Sweep {
+        title: "Memory Latency".into(),
+        cells,
+    }
+}
+
+/// Figure 5 bottom: L2 size/latency ∈ {128KB/10, 256KB/12, 512KB/15} on
+/// mcf, twolf, vortex.
+pub fn l2_sweep(cfg: &ExpConfig) -> Sweep {
+    let benches = ["mcf", "twolf", "vortex"];
+    let mut cells = Vec::new();
+    for (size_kb, lat) in [(128u64, 10u64), (256, 12), (512, 15)] {
+        let mut c = *cfg;
+        c.sim = c.sim.with_l2(size_kb * 1024, lat);
+        let evals = eval_benchmarks(&benches, &c, &TARGETS);
+        collect("l2", &format!("{size_kb}KB({lat})"), &evals, &mut cells);
+    }
+    Sweep {
+        title: "L2 Cache Size (Latency)".into(),
+        cells,
+    }
+}
+
+impl fmt::Display for Sweep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 5 sweep: {}\n", self.title)?;
+        let mut t = TextTable::new(vec![
+            "bench".into(),
+            "param".into(),
+            "tgt".into(),
+            "%IPC".into(),
+            "%energy".into(),
+            "%ED".into(),
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                c.bench.clone(),
+                c.param.clone(),
+                c.target.into(),
+                pct(c.ipc_gain),
+                pct(c.energy_save),
+                pct(c.ed_save),
+            ]);
+        }
+        writeln!(f, "{t}")
+    }
+}

@@ -1,0 +1,96 @@
+//! One module per reproduced table/figure of the paper's evaluation.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig2`] | Figure 2: latency + energy breakdowns, N vs O |
+//! | [`fig3`] | Figure 3: L/E/P retargeting study + diagnostics |
+//! | [`tab12`] | Tables 1–2: worked equation example |
+//! | [`tab3`] | Table 3: model validation ratios |
+//! | [`fig4`] | Figure 4: realistic (ref-input) profiling |
+//! | [`fig5`] | Figure 5: idle-factor / memory-latency / L2 sweeps |
+//! | [`ed2`] | §5.1: ED²-targeted P²-p-threads |
+//! | [`branch`] | §7 extension: branch pre-execution |
+//! | [`cfgsweep`] | §3.1: slicing window / p-thread length sensitivity |
+
+pub mod branch;
+pub mod cfgsweep;
+pub mod ed2;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod tab12;
+pub mod tab3;
+
+use crate::{ExpConfig, Prepared, TargetResult};
+use pthsel::SelectionTarget;
+
+/// Everything evaluated for one benchmark: the prepared pipeline plus one
+/// result per requested target.
+#[derive(Clone, Debug)]
+pub struct BenchEval {
+    /// The prepared pipeline (baseline included).
+    pub prep: Prepared,
+    /// One result per target, in the order requested.
+    pub results: Vec<TargetResult>,
+}
+
+impl BenchEval {
+    /// The result for `target`, if it was evaluated.
+    pub fn result(&self, target: SelectionTarget) -> Option<&TargetResult> {
+        self.results.iter().find(|r| r.target == target)
+    }
+}
+
+/// Prepares and evaluates `names` × `targets` under `cfg`.
+pub fn eval_benchmarks(names: &[&str], cfg: &ExpConfig, targets: &[SelectionTarget]) -> Vec<BenchEval> {
+    names
+        .iter()
+        .map(|name| {
+            let prep = Prepared::build(name, cfg);
+            let results = targets.iter().map(|&t| prep.evaluate(t)).collect();
+            BenchEval { prep, results }
+        })
+        .collect()
+}
+
+/// Geometric mean of `1 + x/100` percentages, returned as a percentage.
+/// This is how the paper aggregates per-benchmark gains (GMean).
+pub fn gmean_pct(pcts: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for p in pcts {
+        // Clamp pathological losses so the gmean stays defined.
+        let ratio = (1.0 + p / 100.0).max(0.01);
+        log_sum += ratio.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        ((log_sum / n as f64).exp() - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmean_of_equal_values_is_that_value() {
+        let g = gmean_pct([10.0, 10.0, 10.0]);
+        assert!((g - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gmean_mixes_gains_and_losses() {
+        let g = gmean_pct([20.0, -10.0]);
+        // sqrt(1.2 * 0.9) - 1 = 3.92%
+        assert!((g - 3.923).abs() < 0.01, "{g}");
+    }
+
+    #[test]
+    fn gmean_of_empty_is_zero() {
+        assert_eq!(gmean_pct(std::iter::empty()), 0.0);
+    }
+}

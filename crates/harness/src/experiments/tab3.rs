@@ -1,0 +1,109 @@
+//! Table 3: model validation. For L-p-threads on gcc, parser, vortex, and
+//! vpr.place, compare PTHSEL+E's *predicted* latency/energy/ED advantages
+//! against the *measured* (simulated) reductions. Ratios near 1 mean the
+//! model is accurate; below 1 means over-estimation.
+
+use serde::Serialize;
+use crate::{ratio, ExpConfig, Prepared, TextTable};
+use pthsel::SelectionTarget;
+use std::fmt;
+
+/// Benchmarks the paper shows in Table 3.
+pub const BENCHES: [&str; 4] = ["gcc", "parser", "vortex", "vpr.place"];
+
+/// One benchmark's validation ratios.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Tab3Row {
+    /// `(Lbase − Lpe) / LADVagg`.
+    pub latency: f64,
+    /// `(Ebase − Epe) / EADVagg`.
+    pub energy: f64,
+    /// `(Pbase − Ppe) / PADVagg` (ED).
+    pub ed: f64,
+}
+
+/// The validation table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Tab3 {
+    /// Benchmark names.
+    pub benches: Vec<String>,
+    /// Actual/predicted ratios per benchmark.
+    pub rows: Vec<Tab3Row>,
+}
+
+/// Runs the validation for the paper's four benchmarks.
+pub fn run(cfg: &ExpConfig) -> Tab3 {
+    run_for(&BENCHES, cfg)
+}
+
+/// Runs the validation for arbitrary benchmarks.
+pub fn run_for(names: &[&str], cfg: &ExpConfig) -> Tab3 {
+    let mut benches = Vec::new();
+    let mut rows = Vec::new();
+    for name in names {
+        let prep = Prepared::build(name, cfg);
+        let res = prep.evaluate(SelectionTarget::Latency);
+        let base = &prep.baseline;
+        let ecfg = &cfg.energy;
+
+        let actual_l = base.cycles as f64 - res.report.cycles as f64;
+        let pred_l = res.selection.predicted_ladv;
+        let actual_e = base.total_energy(ecfg) - res.report.total_energy(ecfg);
+        let pred_e = res.selection.predicted_eadv;
+        let actual_p = base.ed(ecfg) - res.report.ed(ecfg);
+        // Predicted ED advantage: P0 − (L0−LADV)(E0−EADV).
+        let pred_p = prep.app.l0 * prep.app.e0
+            - (prep.app.l0 - pred_l) * (prep.app.e0 - pred_e);
+        benches.push(name.to_string());
+        // A prediction smaller than 0.5% of the baseline quantity has no
+        // meaningful ratio (tiny denominators explode); report NaN and
+        // render "n/a", as validation only makes sense for loads the model
+        // expects to matter.
+        rows.push(Tab3Row {
+            latency: safe_ratio(actual_l, pred_l, 0.005 * prep.app.l0),
+            energy: safe_ratio(actual_e, pred_e, 0.005 * prep.app.e0),
+            ed: safe_ratio(actual_p, pred_p, 0.005 * prep.app.l0 * prep.app.e0),
+        });
+    }
+    Tab3 { benches, rows }
+}
+
+fn safe_ratio(actual: f64, predicted: f64, floor: f64) -> f64 {
+    if predicted.abs() < floor {
+        f64::NAN
+    } else {
+        actual / predicted
+    }
+}
+
+impl fmt::Display for Tab3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 3: PTHSEL+E model validation (actual / predicted)\n")?;
+        let mut t = TextTable::new(vec![
+            "validation".into(),
+            "expression".into(),
+        ]);
+        let _ = &mut t;
+        let mut t = TextTable::new({
+            let mut h = vec!["ratio".into()];
+            h.extend(self.benches.iter().cloned());
+            h
+        });
+        let row = |name: &str, get: fn(&Tab3Row) -> f64, rows: &[Tab3Row]| {
+            let mut cells = vec![name.to_string()];
+            cells.extend(rows.iter().map(|r| {
+                let v = get(r);
+                if v.is_nan() {
+                    "n/a".to_string()
+                } else {
+                    ratio(v)
+                }
+            }));
+            cells
+        };
+        t.row(row("latency", |r| r.latency, &self.rows));
+        t.row(row("energy", |r| r.energy, &self.rows));
+        t.row(row("ED", |r| r.ed, &self.rows));
+        writeln!(f, "{t}")
+    }
+}

@@ -1,0 +1,18 @@
+//! # preexec-harness
+//!
+//! The experiment driver: prepares the full analysis pipeline per
+//! benchmark ([`Prepared`]), evaluates each selection target, and
+//! regenerates every table and figure of the paper's evaluation section
+//! (see the `experiments` module and the `repro` binary).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod chart;
+pub mod experiments;
+mod setup;
+mod table;
+
+pub use chart::{signed_bars, stacked_bars};
+pub use setup::{ExpConfig, Prepared, TargetResult};
+pub use table::{num1, pct, ratio, TextTable};

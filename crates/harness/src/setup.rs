@@ -1,0 +1,293 @@
+//! End-to-end experiment preparation: trace → profile → slice trees →
+//! critical-path cost functions → baseline simulation, per benchmark.
+
+use preexec_critpath::{Breakdown, CritPathConfig, CritPathModel, LoadCost};
+use preexec_energy::EnergyConfig;
+use preexec_isa::Program;
+use preexec_sim::{SimConfig, SimReport, Simulator};
+use preexec_slicer::{SliceConfig, SliceTree};
+use preexec_trace::{FuncSim, MemAnnotation, Profile};
+use preexec_workloads::InputSet;
+use pthsel::{
+    select, AppParams, EnergyParams, MachineParams, Selection, SelectionTarget, SelectorInputs,
+};
+
+/// Experiment-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExpConfig {
+    /// Simulated machine.
+    pub sim: SimConfig,
+    /// Energy accounting constants (simulator side).
+    pub energy: EnergyConfig,
+    /// Input used to *profile* (mine slices/statistics). The primary study
+    /// uses [`InputSet::Train`] — ideal profiling; Figure 4 uses
+    /// [`InputSet::Ref`].
+    pub profile_input: InputSet,
+    /// Input the optimized binary actually *runs* on.
+    pub run_input: InputSet,
+    /// Dynamic-instruction cap on the profiling trace.
+    pub trace_cap: u64,
+    /// Slicing configuration.
+    pub slice: SliceConfig,
+    /// Problem loads must account for at least this fraction of total L2
+    /// misses.
+    pub problem_frac: f64,
+    /// Cap on problem loads per benchmark.
+    pub max_problem_loads: usize,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            sim: SimConfig::default(),
+            energy: EnergyConfig::default(),
+            profile_input: InputSet::Train,
+            run_input: InputSet::Train,
+            trace_cap: 600_000,
+            slice: SliceConfig::default(),
+            problem_frac: 0.02,
+            max_problem_loads: 6,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Model-side machine parameters consistent with the simulated one.
+    pub fn machine_params(&self) -> MachineParams {
+        MachineParams {
+            bw_seq_proc: self.sim.fetch_width as f64,
+            mem_latency: self.sim.hierarchy.mem_latency as f64,
+            l1_latency: self.sim.hierarchy.l1d.latency as f64,
+            l2_latency: self.sim.hierarchy.l2.latency as f64,
+        }
+    }
+
+    /// Model-side energy parameters consistent with the accounting ones.
+    pub fn energy_params(&self) -> EnergyParams {
+        EnergyParams {
+            e_fetch_per_access: self.energy.e_icache,
+            e_xall_per_access: self.energy.e_xall,
+            e_xalu_per_access: self.energy.e_alu,
+            e_xload_per_access: self.energy.e_dcache,
+            e_l2_per_access: self.energy.e_l2,
+            e_idle_per_cycle: self.energy.idle_factor,
+            // Busy power for branch pre-execution (§7): the measured
+            // average active per-cycle energy of these workloads.
+            e_total_per_cycle: 0.35,
+        }
+    }
+
+    /// Critical-path model parameters consistent with the simulator.
+    pub fn critpath_config(&self) -> CritPathConfig {
+        CritPathConfig {
+            fetch_width: self.sim.fetch_width,
+            commit_width: self.sim.commit_width,
+            rob_size: self.sim.rob_size as u32,
+            frontend_depth: self.sim.decode_delay + 2,
+            mispredict_penalty: self.sim.decode_delay + 3,
+            mul_latency: self.sim.mul_latency,
+        }
+    }
+}
+
+/// Everything needed to select and evaluate p-threads for one benchmark
+/// under one configuration.
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    /// Benchmark name.
+    pub name: String,
+    /// Configuration used.
+    pub cfg: ExpConfig,
+    /// The binary that runs (built for `cfg.run_input`).
+    pub program: Program,
+    /// Per-PC profile mined from the profiling run.
+    pub profile: Profile,
+    /// Slice trees of the problem loads.
+    pub trees: Vec<SliceTree>,
+    /// Criticality-based cost functions of the problem loads.
+    pub costs: Vec<LoadCost>,
+    /// Critical-path breakdown of the unoptimized profiling run.
+    pub cp_breakdown: Breakdown,
+    /// Unoptimized timing-simulator baseline (on `run_input`).
+    pub baseline: SimReport,
+    /// Application parameters measured from the baseline.
+    pub app: AppParams,
+}
+
+impl Prepared {
+    /// Builds the full analysis pipeline for `name` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a known workload.
+    pub fn build(name: &str, cfg: &ExpConfig) -> Prepared {
+        let profile_prog = preexec_workloads::build(name, cfg.profile_input)
+            .unwrap_or_else(|| panic!("unknown workload {name:?}"));
+        let run_prog = preexec_workloads::build(name, cfg.run_input).expect("same registry");
+
+        // Profiling pass (functional trace + cache annotation).
+        let trace = FuncSim::new(&profile_prog).run_trace(cfg.trace_cap);
+        let ann = MemAnnotation::compute(&trace, cfg.sim.hierarchy);
+        let profile = Profile::compute(&profile_prog, &trace, &ann);
+
+        // Problem loads.
+        let min_misses =
+            ((profile.total_l2_misses() as f64 * cfg.problem_frac) as u64).max(64);
+        let mut probs = profile.problem_loads(&profile_prog, min_misses);
+        probs.truncate(cfg.max_problem_loads);
+
+        // Slice trees + criticality cost functions.
+        let trees: Vec<SliceTree> = probs
+            .iter()
+            .map(|pl| SliceTree::build(&profile_prog, &trace, &ann, &profile, pl.pc, &cfg.slice))
+            .collect();
+        let cp = CritPathModel::new(&trace, &ann, cfg.critpath_config());
+        let costs: Vec<LoadCost> = probs.iter().map(|pl| cp.load_cost(pl.pc)).collect();
+        let cp_breakdown = cp.breakdown();
+        let cp_ipc = cp.ipc();
+        drop(cp);
+
+        // Baseline timing run on the run input.
+        let baseline = Simulator::new(&run_prog, cfg.sim).run();
+        let l0 = baseline.cycles as f64;
+        let e0 = baseline.total_energy(&cfg.energy);
+        let app = AppParams {
+            l0,
+            e0,
+            // BWSEQmt: the unoptimized IPC. Measured from the baseline when
+            // available; the critical-path estimate is the fallback.
+            bw_seq_mt: if baseline.finished { baseline.ipc() } else { cp_ipc },
+        };
+        Prepared {
+            name: name.to_string(),
+            cfg: *cfg,
+            program: run_prog,
+            profile,
+            trees,
+            costs,
+            cp_breakdown,
+            baseline,
+            app,
+        }
+    }
+
+    /// Runs PTHSEL(+E) for `target`.
+    pub fn select(&self, target: SelectionTarget) -> Selection {
+        let inputs = SelectorInputs {
+            program: &self.program,
+            profile: &self.profile,
+            trees: &self.trees,
+            costs: &self.costs,
+            machine: self.cfg.machine_params(),
+            energy: self.cfg.energy_params(),
+            app: self.app,
+        };
+        select(&inputs, target)
+    }
+
+    /// Simulates the program augmented with `selection`'s p-threads.
+    pub fn run_with(&self, selection: &Selection) -> SimReport {
+        Simulator::new(&self.program, self.cfg.sim)
+            .with_pthreads(&selection.pthreads)
+            .run()
+    }
+
+    /// Selects for `target` and simulates, returning both.
+    pub fn evaluate(&self, target: SelectionTarget) -> TargetResult {
+        let selection = self.select(target);
+        let report = self.run_with(&selection);
+        TargetResult {
+            target,
+            selection,
+            report,
+        }
+    }
+}
+
+/// One (target, selection, simulation) outcome.
+#[derive(Clone, Debug)]
+pub struct TargetResult {
+    /// The optimization target.
+    pub target: SelectionTarget,
+    /// What PTHSEL(+E) chose.
+    pub selection: Selection,
+    /// How the augmented program ran.
+    pub report: SimReport,
+}
+
+impl TargetResult {
+    /// Percent execution-time reduction vs. `base` (positive = faster).
+    pub fn latency_gain_pct(&self, base: &SimReport) -> f64 {
+        100.0 * (1.0 - self.report.cycles as f64 / base.cycles as f64)
+    }
+
+    /// Percent energy reduction vs. `base` (positive = less energy).
+    pub fn energy_save_pct(&self, base: &SimReport, e: &EnergyConfig) -> f64 {
+        100.0 * (1.0 - self.report.total_energy(e) / base.total_energy(e))
+    }
+
+    /// Percent ED reduction vs. `base`.
+    pub fn ed_save_pct(&self, base: &SimReport, e: &EnergyConfig) -> f64 {
+        100.0 * (1.0 - self.report.ed(e) / base.ed(e))
+    }
+
+    /// Percent ED² reduction vs. `base`.
+    pub fn ed2_save_pct(&self, base: &SimReport, e: &EnergyConfig) -> f64 {
+        100.0 * (1.0 - self.report.ed2(e) / base.ed2(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_parameters_track_simulated_machine() {
+        let mut cfg = ExpConfig::default();
+        cfg.sim = cfg.sim.with_mem_latency(300).with_l2(128 * 1024, 10);
+        let m = cfg.machine_params();
+        assert_eq!(m.mem_latency, 300.0);
+        assert_eq!(m.l2_latency, 10.0);
+        assert_eq!(m.bw_seq_proc, cfg.sim.fetch_width as f64);
+        let cp = cfg.critpath_config();
+        assert_eq!(cp.rob_size, cfg.sim.rob_size as u32);
+    }
+
+    #[test]
+    fn energy_parameters_track_accounting_constants() {
+        let mut cfg = ExpConfig::default();
+        cfg.energy = cfg.energy.with_idle_factor(0.08);
+        let e = cfg.energy_params();
+        assert_eq!(e.e_idle_per_cycle, 0.08);
+        assert_eq!(e.e_l2_per_access, cfg.energy.e_l2);
+        assert_eq!(e.e_fetch_per_access, cfg.energy.e_icache);
+    }
+
+    #[test]
+    fn prepared_pipeline_is_complete_for_gap() {
+        let p = Prepared::build("gap", &ExpConfig::default());
+        assert!(p.baseline.finished);
+        assert!(!p.trees.is_empty());
+        assert_eq!(p.trees.len(), p.costs.len());
+        assert!(p.app.l0 > 0.0 && p.app.e0 > 0.0);
+        assert!(p.cp_breakdown.total() > 0.0);
+    }
+
+    #[test]
+    fn latency_target_speeds_up_gap() {
+        let p = Prepared::build("gap", &ExpConfig::default());
+        let r = p.evaluate(SelectionTarget::Latency);
+        assert!(!r.selection.pthreads.is_empty());
+        let gain = r.latency_gain_pct(&p.baseline);
+        assert!(
+            gain > 2.0,
+            "gap with L-p-threads should speed up, got {gain:.2}%"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let _ = Prepared::build("nonesuch", &ExpConfig::default());
+    }
+}

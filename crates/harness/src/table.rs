@@ -1,0 +1,133 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple right-aligned text table with a header row.
+///
+/// # Examples
+///
+/// ```
+/// use preexec_harness::TextTable;
+/// let mut t = TextTable::new(vec!["bench".into(), "IPC".into()]);
+/// t.row(vec!["mcf".into(), "0.21".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("bench"));
+/// assert!(s.contains("0.21"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> TextTable {
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with blanks.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        while cells.len() < self.header.len() {
+            cells.push(String::new());
+        }
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut line = String::new();
+        for (i, h) in self.header.iter().enumerate() {
+            if i == 0 {
+                let _ = write!(line, "{:<w$}", h, w = widths[i]);
+            } else {
+                let _ = write!(line, "  {:>w$}", h, w = widths[i]);
+            }
+        }
+        writeln!(f, "{line}")?;
+        writeln!(f, "{}", "-".repeat(line.len()))?;
+        for r in &self.rows {
+            let mut line = String::new();
+            for (i, c) in r.iter().enumerate().take(ncols) {
+                if i == 0 {
+                    let _ = write!(line, "{:<w$}", c, w = widths[i]);
+                } else {
+                    let _ = write!(line, "  {:>w$}", c, w = widths[i]);
+                }
+            }
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a percentage with sign and one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:+.1}%")
+}
+
+/// Formats a plain number with one decimal.
+pub fn num1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a ratio with two decimals.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a".into(), "long-header".into()]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer-name".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, 2 rows
+        assert!(lines[0].contains("long-header"));
+        assert!(lines[3].starts_with("longer-name"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        let _ = t.to_string(); // must not panic
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(3.24159), "+3.2%");
+        assert_eq!(pct(-2.5), "-2.5%");
+        assert_eq!(num1(10.25), "10.2");
+        assert_eq!(ratio(0.666), "0.67");
+    }
+}

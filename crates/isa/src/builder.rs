@@ -1,0 +1,302 @@
+//! A small assembler-style builder for constructing [`Program`]s.
+
+use crate::{AluOp, BranchCond, Inst, MemImage, Pc, Program, Reg};
+use std::collections::HashMap;
+
+/// Incrementally builds a [`Program`] with symbolic labels.
+///
+/// Forward references are allowed: a branch may name a label that is defined
+/// later; [`ProgramBuilder::build`] resolves them and panics on any label
+/// that was referenced but never defined.
+///
+/// # Examples
+///
+/// ```
+/// use preexec_isa::{ProgramBuilder, Reg};
+/// let (i, n) = (Reg::new(1), Reg::new(2));
+/// let mut b = ProgramBuilder::new("count");
+/// b.li(i, 0);
+/// b.li(n, 10);
+/// b.label("loop");
+/// b.addi(i, i, 1);
+/// b.blt(i, n, "loop");
+/// b.halt();
+/// let prog = b.build();
+/// assert_eq!(prog.len(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    insts: Vec<Inst>,
+    labels: HashMap<String, Pc>,
+    fixups: Vec<(usize, String)>,
+    image: MemImage,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for a program called `name`.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Current PC: the index the next emitted instruction will occupy.
+    pub fn here(&self) -> Pc {
+        self.insts.len() as Pc
+    }
+
+    /// Defines `label` at the current PC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, label: impl Into<String>) -> &mut Self {
+        let label = label.into();
+        let pc = self.here();
+        if self.labels.insert(label.clone(), pc).is_some() {
+            panic!("label {label:?} defined twice");
+        }
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Emits `dst = op(src1, src2)`.
+    pub fn alu(&mut self, op: AluOp, dst: Reg, src1: Reg, src2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op, dst, src1, src2 })
+    }
+
+    /// Emits `dst = op(src1, imm)`.
+    pub fn alu_imm(&mut self, op: AluOp, dst: Reg, src1: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::AluImm { op, dst, src1, imm })
+    }
+
+    /// Emits `dst = src1 + src2`.
+    pub fn add(&mut self, dst: Reg, src1: Reg, src2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, dst, src1, src2)
+    }
+
+    /// Emits `dst = src1 - src2`.
+    pub fn sub(&mut self, dst: Reg, src1: Reg, src2: Reg) -> &mut Self {
+        self.alu(AluOp::Sub, dst, src1, src2)
+    }
+
+    /// Emits `dst = src1 * src2`.
+    pub fn mul(&mut self, dst: Reg, src1: Reg, src2: Reg) -> &mut Self {
+        self.alu(AluOp::Mul, dst, src1, src2)
+    }
+
+    /// Emits `dst = src1 ^ src2`.
+    pub fn xor(&mut self, dst: Reg, src1: Reg, src2: Reg) -> &mut Self {
+        self.alu(AluOp::Xor, dst, src1, src2)
+    }
+
+    /// Emits `dst = src1 & src2`.
+    pub fn and(&mut self, dst: Reg, src1: Reg, src2: Reg) -> &mut Self {
+        self.alu(AluOp::And, dst, src1, src2)
+    }
+
+    /// Emits `dst = src1 + imm`.
+    pub fn addi(&mut self, dst: Reg, src1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Add, dst, src1, imm)
+    }
+
+    /// Emits `dst = src1 * imm`.
+    pub fn muli(&mut self, dst: Reg, src1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Mul, dst, src1, imm)
+    }
+
+    /// Emits `dst = src1 & imm`.
+    pub fn andi(&mut self, dst: Reg, src1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::And, dst, src1, imm)
+    }
+
+    /// Emits `dst = src1 << imm`.
+    pub fn shli(&mut self, dst: Reg, src1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Shl, dst, src1, imm)
+    }
+
+    /// Emits `dst = src1 >> imm`.
+    pub fn shri(&mut self, dst: Reg, src1: Reg, imm: i64) -> &mut Self {
+        self.alu_imm(AluOp::Shr, dst, src1, imm)
+    }
+
+    /// Emits `dst = (src1 < src2)` (signed).
+    pub fn slt(&mut self, dst: Reg, src1: Reg, src2: Reg) -> &mut Self {
+        self.alu(AluOp::Slt, dst, src1, src2)
+    }
+
+    /// Emits `dst = imm`.
+    pub fn li(&mut self, dst: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::LoadImm { dst, imm })
+    }
+
+    /// Emits `dst = mem[base + offset]`.
+    pub fn ld(&mut self, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Load { dst, base, offset })
+    }
+
+    /// Emits `mem[base + offset] = src`.
+    pub fn st(&mut self, src: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Inst::Store { src, base, offset })
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(
+        &mut self,
+        cond: BranchCond,
+        src1: Reg,
+        src2: Reg,
+        label: impl Into<String>,
+    ) -> &mut Self {
+        let at = self.insts.len();
+        self.fixups.push((at, label.into()));
+        self.push(Inst::Branch {
+            cond,
+            src1,
+            src2,
+            target: u32::MAX, // patched by build()
+        })
+    }
+
+    /// Emits `beq src1, src2, label`.
+    pub fn beq(&mut self, src1: Reg, src2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Eq, src1, src2, label)
+    }
+
+    /// Emits `bne src1, src2, label`.
+    pub fn bne(&mut self, src1: Reg, src2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ne, src1, src2, label)
+    }
+
+    /// Emits `blt src1, src2, label` (signed).
+    pub fn blt(&mut self, src1: Reg, src2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Lt, src1, src2, label)
+    }
+
+    /// Emits `bge src1, src2, label` (signed).
+    pub fn bge(&mut self, src1: Reg, src2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ge, src1, src2, label)
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jump(&mut self, label: impl Into<String>) -> &mut Self {
+        let at = self.insts.len();
+        self.fixups.push((at, label.into()));
+        self.push(Inst::Jump { target: u32::MAX })
+    }
+
+    /// Emits a `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    /// Emits a `halt`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// Initializes one word of the data image.
+    pub fn data(&mut self, addr: u64, value: u64) -> &mut Self {
+        self.image.store(addr, value);
+        self
+    }
+
+    /// Initializes a contiguous array of words in the data image.
+    pub fn data_slice(&mut self, base: u64, values: &[u64]) -> &mut Self {
+        self.image.store_slice(base, values);
+        self
+    }
+
+    /// Replaces the entire data image.
+    pub fn set_image(&mut self, image: MemImage) -> &mut Self {
+        self.image = image;
+        self
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never defined.
+    pub fn build(mut self) -> Program {
+        for (at, label) in &self.fixups {
+            let &pc = self
+                .labels
+                .get(label)
+                .unwrap_or_else(|| panic!("undefined label {label:?}"));
+            match &mut self.insts[*at] {
+                Inst::Branch { target, .. } | Inst::Jump { target } => *target = pc,
+                other => unreachable!("fixup on non-control instruction {other:?}"),
+            }
+        }
+        Program::from_parts(self.name, self.insts, 0, self.image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let r1 = Reg::new(1);
+        let mut b = ProgramBuilder::new("t");
+        b.label("top");
+        b.beq(r1, Reg::ZERO, "done"); // forward
+        b.addi(r1, r1, -1);
+        b.jump("top"); // backward
+        b.label("done");
+        b.halt();
+        let p = b.build();
+        match p.inst(0) {
+            Inst::Branch { target, .. } => assert_eq!(*target, 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.inst(2) {
+            Inst::Jump { target } => assert_eq!(*target, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut b = ProgramBuilder::new("t");
+        b.jump("nowhere");
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut b = ProgramBuilder::new("t");
+        b.label("x");
+        b.nop();
+        b.label("x");
+    }
+
+    #[test]
+    fn data_words_land_in_image() {
+        let mut b = ProgramBuilder::new("t");
+        b.data(0x100, 9).data_slice(0x200, &[1, 2]);
+        b.halt();
+        let p = b.build();
+        assert_eq!(p.image().load(0x100), 9);
+        assert_eq!(p.image().load(0x208), 2);
+    }
+
+    #[test]
+    fn here_tracks_pc() {
+        let mut b = ProgramBuilder::new("t");
+        assert_eq!(b.here(), 0);
+        b.nop();
+        assert_eq!(b.here(), 1);
+    }
+}

@@ -1,0 +1,415 @@
+//! Instruction definitions.
+
+use crate::Reg;
+use std::fmt;
+
+/// An ALU operation applied to two register operands or a register and an
+/// immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AluOp {
+    /// Addition (wrapping).
+    Add,
+    /// Subtraction (wrapping).
+    Sub,
+    /// Multiplication (wrapping). Multi-cycle in the timing model.
+    Mul,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (by `rhs & 63`).
+    Shl,
+    /// Logical shift right (by `rhs & 63`).
+    Shr,
+    /// Set-if-less-than, signed: `dst = (lhs < rhs) as u64`.
+    Slt,
+}
+
+impl AluOp {
+    /// Applies the operation to concrete values.
+    #[inline]
+    pub fn apply(self, lhs: u64, rhs: u64) -> u64 {
+        match self {
+            AluOp::Add => lhs.wrapping_add(rhs),
+            AluOp::Sub => lhs.wrapping_sub(rhs),
+            AluOp::Mul => lhs.wrapping_mul(rhs),
+            AluOp::And => lhs & rhs,
+            AluOp::Or => lhs | rhs,
+            AluOp::Xor => lhs ^ rhs,
+            AluOp::Shl => lhs.wrapping_shl((rhs & 63) as u32),
+            AluOp::Shr => lhs.wrapping_shr((rhs & 63) as u32),
+            AluOp::Slt => ((lhs as i64) < (rhs as i64)) as u64,
+        }
+    }
+
+    /// Mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Slt => "slt",
+        }
+    }
+}
+
+/// A branch comparison condition.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BranchCond {
+    /// Taken when `lhs == rhs`.
+    Eq,
+    /// Taken when `lhs != rhs`.
+    Ne,
+    /// Taken when `lhs < rhs` (signed).
+    Lt,
+    /// Taken when `lhs >= rhs` (signed).
+    Ge,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on concrete values.
+    #[inline]
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            BranchCond::Eq => lhs == rhs,
+            BranchCond::Ne => lhs != rhs,
+            BranchCond::Lt => (lhs as i64) < (rhs as i64),
+            BranchCond::Ge => (lhs as i64) >= (rhs as i64),
+        }
+    }
+
+    /// Mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ge => "bge",
+        }
+    }
+}
+
+/// A single instruction in the mini-RISC ISA.
+///
+/// The ISA is deliberately small: it has exactly the features pre-execution
+/// analysis cares about — register dataflow, loads with base+offset
+/// addressing, conditional branches, and nothing else (no FP, no traps).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Inst {
+    /// Three-register ALU operation: `dst = op(src1, src2)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        src1: Reg,
+        /// Right operand.
+        src2: Reg,
+    },
+    /// Register-immediate ALU operation: `dst = op(src1, imm)`.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        src1: Reg,
+        /// Immediate right operand.
+        imm: i64,
+    },
+    /// Load immediate: `dst = imm`.
+    LoadImm {
+        /// Destination register.
+        dst: Reg,
+        /// Value.
+        imm: i64,
+    },
+    /// Load word: `dst = mem[src1 + offset]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Store word: `mem[base + offset] = src`.
+    Store {
+        /// Value register.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset added to the base.
+        offset: i64,
+    },
+    /// Conditional branch to an instruction index.
+    Branch {
+        /// Comparison condition.
+        cond: BranchCond,
+        /// Left operand.
+        src1: Reg,
+        /// Right operand.
+        src2: Reg,
+        /// Target instruction index (resolved by the builder).
+        target: u32,
+    },
+    /// Unconditional jump to an instruction index.
+    Jump {
+        /// Target instruction index.
+        target: u32,
+    },
+    /// No operation.
+    Nop,
+    /// Stops the program.
+    Halt,
+}
+
+/// Broad instruction class used by the timing model and the energy model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum InstClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Multi-cycle integer multiply.
+    IntMul,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+    /// Conditional branch.
+    Branch,
+    /// Unconditional jump.
+    Jump,
+    /// Nop / halt — occupies a slot but does no work.
+    Other,
+}
+
+impl Inst {
+    /// Destination register written by this instruction, if any.
+    ///
+    /// Writes to `r0` are reported as `None` — they are architecturally
+    /// invisible and carry no dataflow.
+    pub fn dst(&self) -> Option<Reg> {
+        let d = match *self {
+            Inst::Alu { dst, .. } | Inst::AluImm { dst, .. } => dst,
+            Inst::LoadImm { dst, .. } => dst,
+            Inst::Load { dst, .. } => dst,
+            _ => return None,
+        };
+        if d.is_zero() {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Source registers read by this instruction, in operand order.
+    ///
+    /// Reads of `r0` are included (they read the constant zero).
+    pub fn srcs(&self) -> SrcIter {
+        let (a, b) = match *self {
+            Inst::Alu { src1, src2, .. } => (Some(src1), Some(src2)),
+            Inst::AluImm { src1, .. } => (Some(src1), None),
+            Inst::LoadImm { .. } => (None, None),
+            Inst::Load { base, .. } => (Some(base), None),
+            Inst::Store { src, base, .. } => (Some(base), Some(src)),
+            Inst::Branch { src1, src2, .. } => (Some(src1), Some(src2)),
+            Inst::Jump { .. } | Inst::Nop | Inst::Halt => (None, None),
+        };
+        SrcIter { a, b }
+    }
+
+    /// Classifies the instruction for timing and energy purposes.
+    pub fn class(&self) -> InstClass {
+        match *self {
+            Inst::Alu { op: AluOp::Mul, .. } | Inst::AluImm { op: AluOp::Mul, .. } => {
+                InstClass::IntMul
+            }
+            Inst::Alu { .. } | Inst::AluImm { .. } | Inst::LoadImm { .. } => InstClass::IntAlu,
+            Inst::Load { .. } => InstClass::Load,
+            Inst::Store { .. } => InstClass::Store,
+            Inst::Branch { .. } => InstClass::Branch,
+            Inst::Jump { .. } => InstClass::Jump,
+            Inst::Nop | Inst::Halt => InstClass::Other,
+        }
+    }
+
+    /// Returns `true` for control-flow instructions (branches and jumps).
+    pub fn is_control(&self) -> bool {
+        matches!(self, Inst::Branch { .. } | Inst::Jump { .. })
+    }
+
+    /// Returns `true` for loads.
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. })
+    }
+
+    /// Returns `true` for stores.
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. })
+    }
+
+    /// Returns `true` if the instruction can be copied into a p-thread body.
+    ///
+    /// DDMT p-threads are control-less and store-less: only dataflow
+    /// instructions (ALU ops, immediates, and loads) are eligible.
+    pub fn is_pthread_eligible(&self) -> bool {
+        matches!(
+            self,
+            Inst::Alu { .. } | Inst::AluImm { .. } | Inst::LoadImm { .. } | Inst::Load { .. }
+        )
+    }
+}
+
+/// Iterator over an instruction's source registers. Created by [`Inst::srcs`].
+#[derive(Clone, Copy, Debug)]
+pub struct SrcIter {
+    a: Option<Reg>,
+    b: Option<Reg>,
+}
+
+impl Iterator for SrcIter {
+    type Item = Reg;
+
+    fn next(&mut self) -> Option<Reg> {
+        self.a.take().or_else(|| self.b.take())
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Alu { op, dst, src1, src2 } => {
+                write!(f, "{} {dst}, {src1}, {src2}", op.mnemonic())
+            }
+            Inst::AluImm { op, dst, src1, imm } => {
+                write!(f, "{}i {dst}, {src1}, {imm}", op.mnemonic())
+            }
+            Inst::LoadImm { dst, imm } => write!(f, "li {dst}, {imm}"),
+            Inst::Load { dst, base, offset } => write!(f, "ld {dst}, {offset}({base})"),
+            Inst::Store { src, base, offset } => write!(f, "st {src}, {offset}({base})"),
+            Inst::Branch {
+                cond,
+                src1,
+                src2,
+                target,
+            } => write!(f, "{} {src1}, {src2}, @{target}", cond.mnemonic()),
+            Inst::Jump { target } => write!(f, "j @{target}"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.apply(3, 4), 7);
+        assert_eq!(AluOp::Sub.apply(3, 4), u64::MAX); // wraps
+        assert_eq!(AluOp::Mul.apply(6, 7), 42);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(16, 4), 1);
+        assert_eq!(AluOp::Slt.apply(u64::MAX, 0), 1); // -1 < 0 signed
+        assert_eq!(AluOp::Slt.apply(0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Eq.eval(5, 5));
+        assert!(!BranchCond::Eq.eval(5, 6));
+        assert!(BranchCond::Ne.eval(5, 6));
+        assert!(BranchCond::Lt.eval(u64::MAX, 0)); // signed
+        assert!(BranchCond::Ge.eval(0, u64::MAX));
+    }
+
+    #[test]
+    fn dst_suppressed_for_r0() {
+        let i = Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::ZERO,
+            src1: Reg::new(1),
+            imm: 1,
+        };
+        assert_eq!(i.dst(), None);
+        let j = Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::new(2),
+            src1: Reg::new(1),
+            imm: 1,
+        };
+        assert_eq!(j.dst(), Some(Reg::new(2)));
+    }
+
+    #[test]
+    fn srcs_in_operand_order() {
+        let st = Inst::Store {
+            src: Reg::new(7),
+            base: Reg::new(3),
+            offset: 8,
+        };
+        let srcs: Vec<Reg> = st.srcs().collect();
+        assert_eq!(srcs, vec![Reg::new(3), Reg::new(7)]);
+        assert!(Inst::Nop.srcs().next().is_none());
+    }
+
+    #[test]
+    fn classes() {
+        let mul = Inst::Alu {
+            op: AluOp::Mul,
+            dst: Reg::new(1),
+            src1: Reg::new(2),
+            src2: Reg::new(3),
+        };
+        assert_eq!(mul.class(), InstClass::IntMul);
+        assert_eq!(Inst::Halt.class(), InstClass::Other);
+        assert_eq!(
+            Inst::Load {
+                dst: Reg::new(1),
+                base: Reg::new(2),
+                offset: 0
+            }
+            .class(),
+            InstClass::Load
+        );
+    }
+
+    #[test]
+    fn pthread_eligibility_excludes_control_and_stores() {
+        assert!(!Inst::Jump { target: 0 }.is_pthread_eligible());
+        assert!(!Inst::Store {
+            src: Reg::new(1),
+            base: Reg::new(2),
+            offset: 0
+        }
+        .is_pthread_eligible());
+        assert!(Inst::Load {
+            dst: Reg::new(1),
+            base: Reg::new(2),
+            offset: 0
+        }
+        .is_pthread_eligible());
+    }
+
+    #[test]
+    fn display_roundtrips_shapes() {
+        let i = Inst::Load {
+            dst: Reg::new(4),
+            base: Reg::new(9),
+            offset: -16,
+        };
+        assert_eq!(i.to_string(), "ld r4, -16(r9)");
+    }
+}

@@ -1,0 +1,53 @@
+//! # preexec-isa
+//!
+//! A minimal RISC instruction set used throughout the pre-execution
+//! reproduction. It stands in for the SimpleScalar Alpha AXP machine
+//! definition the original paper used: pre-execution analysis only cares
+//! about register dataflow, base+offset loads, conditional control flow, and
+//! stores, and the ISA provides exactly those.
+//!
+//! The crate provides:
+//!
+//! * [`Inst`]/[`AluOp`]/[`BranchCond`] — instruction definitions,
+//! * [`Reg`] — architectural register names (`r0` hardwired to zero),
+//! * [`Program`] and [`ProgramBuilder`] — label-resolving assembler,
+//! * [`MemImage`] — sparse initial data image.
+//!
+//! # Examples
+//!
+//! ```
+//! use preexec_isa::{ProgramBuilder, Reg};
+//!
+//! let (sum, i, n, base, tmp) =
+//!     (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4), Reg::new(5));
+//! let mut b = ProgramBuilder::new("sum-array");
+//! b.li(sum, 0).li(i, 0).li(n, 4).li(base, 0x1000);
+//! b.data_slice(0x1000, &[10, 20, 30, 40]);
+//! b.label("loop");
+//! b.shli(tmp, i, 3); // word index -> byte offset
+//! b.add(tmp, tmp, base);
+//! b.ld(tmp, tmp, 0);
+//! b.add(sum, sum, tmp);
+//! b.addi(i, i, 1);
+//! b.blt(i, n, "loop");
+//! b.halt();
+//! let program = b.build();
+//! assert_eq!(program.name(), "sum-array");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod inst;
+mod mem;
+mod parse;
+mod program;
+mod reg;
+
+pub use builder::ProgramBuilder;
+pub use inst::{AluOp, BranchCond, Inst, InstClass, SrcIter};
+pub use mem::{MemImage, WORD_BYTES};
+pub use parse::{parse_inst, parse_program, ParseAsmError};
+pub use program::{Pc, Program};
+pub use reg::{Reg, NUM_ARCH_REGS};

@@ -1,0 +1,135 @@
+//! Initial data memory images.
+
+use std::collections::BTreeMap;
+
+/// Word size in bytes. All loads and stores move one aligned 8-byte word.
+pub const WORD_BYTES: u64 = 8;
+
+/// An initial data memory image: a sparse map from word-aligned byte
+/// addresses to 64-bit values. Unset addresses read as zero.
+///
+/// Workload generators build an image (arrays, linked structures, index
+/// tables) and hand it to the functional and timing simulators as the
+/// program's initial heap.
+///
+/// # Examples
+///
+/// ```
+/// use preexec_isa::MemImage;
+/// let mut img = MemImage::new();
+/// img.store(0x1000, 42);
+/// assert_eq!(img.load(0x1000), 42);
+/// assert_eq!(img.load(0x2000), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemImage {
+    words: BTreeMap<u64, u64>,
+}
+
+impl MemImage {
+    /// Creates an empty image.
+    pub fn new() -> MemImage {
+        MemImage::default()
+    }
+
+    /// Stores a word. The address is rounded down to word alignment.
+    pub fn store(&mut self, addr: u64, value: u64) {
+        self.words.insert(align(addr), value);
+    }
+
+    /// Loads a word (zero if never stored).
+    pub fn load(&self, addr: u64) -> u64 {
+        self.words.get(&align(addr)).copied().unwrap_or(0)
+    }
+
+    /// Writes `values` as a contiguous array of words starting at `base`.
+    pub fn store_slice(&mut self, base: u64, values: &[u64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.store(base + i as u64 * WORD_BYTES, v);
+        }
+    }
+
+    /// Number of explicitly initialized words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Returns `true` if no words were initialized.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterates over `(address, value)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.words.iter().map(|(&a, &v)| (a, v))
+    }
+}
+
+impl FromIterator<(u64, u64)> for MemImage {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        let mut img = MemImage::new();
+        for (a, v) in iter {
+            img.store(a, v);
+        }
+        img
+    }
+}
+
+impl Extend<(u64, u64)> for MemImage {
+    fn extend<I: IntoIterator<Item = (u64, u64)>>(&mut self, iter: I) {
+        for (a, v) in iter {
+            self.store(a, v);
+        }
+    }
+}
+
+#[inline]
+fn align(addr: u64) -> u64 {
+    addr & !(WORD_BYTES - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_reads_zero() {
+        let img = MemImage::new();
+        assert_eq!(img.load(0xdead_beef), 0);
+        assert!(img.is_empty());
+    }
+
+    #[test]
+    fn store_then_load_roundtrips() {
+        let mut img = MemImage::new();
+        img.store(64, 7);
+        assert_eq!(img.load(64), 7);
+        img.store(64, 9);
+        assert_eq!(img.load(64), 9);
+        assert_eq!(img.len(), 1);
+    }
+
+    #[test]
+    fn misaligned_accesses_alias_to_word() {
+        let mut img = MemImage::new();
+        img.store(65, 5);
+        assert_eq!(img.load(64), 5);
+        assert_eq!(img.load(71), 5);
+    }
+
+    #[test]
+    fn store_slice_lays_out_contiguous_words() {
+        let mut img = MemImage::new();
+        img.store_slice(0x100, &[1, 2, 3]);
+        assert_eq!(img.load(0x100), 1);
+        assert_eq!(img.load(0x108), 2);
+        assert_eq!(img.load(0x110), 3);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut img: MemImage = [(0u64, 1u64), (8, 2)].into_iter().collect();
+        img.extend([(16u64, 3u64)]);
+        assert_eq!(img.iter().collect::<Vec<_>>(), vec![(0, 1), (8, 2), (16, 3)]);
+    }
+}

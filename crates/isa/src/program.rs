@@ -1,0 +1,133 @@
+//! Programs: instruction sequences plus an initial data image.
+
+use crate::{Inst, MemImage};
+use std::fmt;
+
+/// A static instruction address: an index into a [`Program`]'s instruction
+/// vector. The ISA uses instruction indices rather than byte addresses; the
+/// timing model converts to cache-line addresses internally.
+pub type Pc = u32;
+
+/// A complete program: code, entry point, and initial memory image.
+///
+/// Programs are immutable once built (see
+/// [`ProgramBuilder`](crate::ProgramBuilder)); the simulators never mutate
+/// code.
+///
+/// # Examples
+///
+/// ```
+/// use preexec_isa::{ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new("demo");
+/// b.li(Reg::new(1), 7);
+/// b.halt();
+/// let prog = b.build();
+/// assert_eq!(prog.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Program {
+    name: String,
+    insts: Vec<Inst>,
+    entry: Pc,
+    image: MemImage,
+}
+
+impl Program {
+    pub(crate) fn from_parts(name: String, insts: Vec<Inst>, entry: Pc, image: MemImage) -> Self {
+        Program {
+            name,
+            insts,
+            entry,
+            image,
+        }
+    }
+
+    /// The program's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` if the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn inst(&self, pc: Pc) -> &Inst {
+        &self.insts[pc as usize]
+    }
+
+    /// The instruction at `pc`, or `None` if out of range.
+    #[inline]
+    pub fn get(&self, pc: Pc) -> Option<&Inst> {
+        self.insts.get(pc as usize)
+    }
+
+    /// All instructions in program order.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// The entry PC (always 0 for builder-produced programs).
+    pub fn entry(&self) -> Pc {
+        self.entry
+    }
+
+    /// The initial data memory image.
+    pub fn image(&self) -> &MemImage {
+        &self.image
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; program {} ({} insts)", self.name, self.insts.len())?;
+        for (pc, inst) in self.insts.iter().enumerate() {
+            writeln!(f, "{pc:5}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramBuilder, Reg};
+
+    fn tiny() -> Program {
+        let mut b = ProgramBuilder::new("tiny");
+        b.li(Reg::new(1), 1);
+        b.addi(Reg::new(2), Reg::new(1), 41);
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn accessors() {
+        let p = tiny();
+        assert_eq!(p.name(), "tiny");
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.entry(), 0);
+        assert!(matches!(p.inst(2), Inst::Halt));
+        assert!(p.get(3).is_none());
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let p = tiny();
+        let text = p.to_string();
+        assert!(text.contains("li r1, 1"));
+        assert!(text.contains("halt"));
+    }
+}

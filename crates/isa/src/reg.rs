@@ -1,0 +1,102 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of architectural integer registers.
+pub const NUM_ARCH_REGS: usize = 32;
+
+/// An architectural register name, `r0`..`r31`.
+///
+/// `r0` is hardwired to zero: writes are discarded and reads always
+/// return zero, exactly like MIPS/Alpha `$zero`/`$31`.
+///
+/// # Examples
+///
+/// ```
+/// use preexec_isa::Reg;
+/// let r = Reg::new(5);
+/// assert_eq!(r.index(), 5);
+/// assert_eq!(format!("{r}"), "r5");
+/// assert!(Reg::ZERO.is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired-zero register `r0`.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    #[inline]
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < NUM_ARCH_REGS,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// Returns the register index in `0..32`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns `true` for the hardwired-zero register `r0`.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over every architectural register, `r0` first.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_ARCH_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<Reg> for usize {
+    fn from(r: Reg) -> usize {
+        r.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_is_index_zero() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+    }
+
+    #[test]
+    fn display_matches_convention() {
+        assert_eq!(Reg::new(17).to_string(), "r17");
+    }
+
+    #[test]
+    fn all_yields_every_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), NUM_ARCH_REGS);
+        assert_eq!(regs[0], Reg::ZERO);
+        assert_eq!(regs[31], Reg::new(31));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+}

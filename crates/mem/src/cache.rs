@@ -1,0 +1,484 @@
+//! A single parametric set-associative cache with LRU replacement,
+//! write-back/write-allocate policy, and in-flight fill tracking.
+
+use std::fmt;
+
+/// Who installed a cache line. Used to attribute prefetch coverage: a main
+/// thread access that hits on a [`Installer::Pthread`] line is a covered miss.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Installer {
+    /// Installed by a main-thread demand access (or initial state).
+    #[default]
+    Main,
+    /// Installed by a p-thread prefetch.
+    Pthread,
+}
+
+/// Configuration of a single cache.
+///
+/// # Examples
+///
+/// ```
+/// use preexec_mem::CacheConfig;
+/// let l2 = CacheConfig::new(256 * 1024, 64, 4, 12);
+/// assert_eq!(l2.num_sets(), 1024);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u32,
+    /// Access (hit) latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (sizes not powers of two, or
+    /// capacity not divisible by `line_bytes * assoc`).
+    pub fn new(size_bytes: u64, line_bytes: u64, assoc: u32, latency: u64) -> CacheConfig {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc >= 1, "associativity must be at least 1");
+        let cfg = CacheConfig {
+            size_bytes,
+            line_bytes,
+            assoc,
+            latency,
+        };
+        let lines = size_bytes / line_bytes;
+        assert!(
+            lines.is_multiple_of(assoc as u64) && lines >= assoc as u64,
+            "capacity must be a whole number of sets"
+        );
+        assert!(
+            cfg.num_sets().is_power_of_two(),
+            "number of sets must be a power of two"
+        );
+        cfg
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / self.line_bytes / self.assoc as u64
+    }
+
+    /// Line-aligned address of the line containing `addr`.
+    #[inline]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    #[inline]
+    fn set_index(&self, addr: u64) -> usize {
+        ((addr / self.line_bytes) & (self.num_sets() - 1)) as usize
+    }
+
+    #[inline]
+    fn tag(&self, addr: u64) -> u64 {
+        addr / self.line_bytes / self.num_sets()
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    /// Cycle at which the fill completes; accesses before this merge with
+    /// the outstanding fill instead of re-requesting.
+    ready_at: u64,
+    dirty: bool,
+    installer: Installer,
+    lru: u64,
+}
+
+/// Result of probing or accessing a cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Lookup {
+    /// The line is present.
+    Hit {
+        /// Cycle the data is available (`now + latency`, or later if the
+        /// line's fill is still in flight).
+        ready_at: u64,
+        /// `true` if the hit merged with an outstanding fill (the line was
+        /// installed but its data had not yet arrived).
+        in_flight: bool,
+        /// Who installed the line.
+        installer: Installer,
+    },
+    /// The line is absent.
+    Miss,
+}
+
+/// A victim line evicted by a fill, reported so the caller can model
+/// write-back traffic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Evicted {
+    /// Line-aligned address of the victim.
+    pub line_addr: u64,
+    /// Whether the victim was dirty (needs a write-back).
+    pub dirty: bool,
+}
+
+/// Running hit/miss statistics for one cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Accesses that hit (including in-flight merges).
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Hits that merged with an outstanding fill.
+    pub inflight_merges: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss rate in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative cache.
+///
+/// The cache tracks tags only (no data); data values live in the functional
+/// memory. Fills take effect immediately for tag purposes but record a
+/// `ready_at` cycle so that later accesses to a still-in-flight line merge
+/// with the fill rather than observing a hit at full speed — this is what
+/// lets the simulator distinguish *fully* covered from *partially* covered
+/// misses, as Figure 3 of the paper requires.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        let sets = vec![vec![Line::default(); cfg.assoc as usize]; cfg.num_sets() as usize];
+        Cache {
+            cfg,
+            sets,
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets statistics (but not cache contents). Used at the end of the
+    /// warm-up phase of sampled simulation.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Looks up `addr` at cycle `now`, updating LRU and statistics.
+    ///
+    /// On a hit the line's recency is refreshed. On a miss nothing is
+    /// installed — callers decide whether and when to [`fill`](Cache::fill).
+    pub fn access(&mut self, addr: u64, now: u64) -> Lookup {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = (self.cfg.set_index(addr), self.cfg.tag(addr));
+        let latency = self.cfg.latency;
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                let in_flight = line.ready_at > now;
+                let ready_at = (now + latency).max(line.ready_at);
+                self.stats.hits += 1;
+                if in_flight {
+                    self.stats.inflight_merges += 1;
+                }
+                return Lookup::Hit {
+                    ready_at,
+                    in_flight,
+                    installer: line.installer,
+                };
+            }
+        }
+        self.stats.misses += 1;
+        Lookup::Miss
+    }
+
+    /// Looks up `addr` without updating LRU or statistics.
+    pub fn probe(&self, addr: u64, now: u64) -> Lookup {
+        let (set, tag) = (self.cfg.set_index(addr), self.cfg.tag(addr));
+        for line in &self.sets[set] {
+            if line.valid && line.tag == tag {
+                let in_flight = line.ready_at > now;
+                return Lookup::Hit {
+                    ready_at: (now + self.cfg.latency).max(line.ready_at),
+                    in_flight,
+                    installer: line.installer,
+                };
+            }
+        }
+        Lookup::Miss
+    }
+
+    /// Installs the line containing `addr`, evicting the LRU way if needed.
+    ///
+    /// `ready_at` is the cycle the fill data arrives; `installer` attributes
+    /// the fill. Returns the evicted victim, if any valid line was displaced.
+    pub fn fill(&mut self, addr: u64, ready_at: u64, installer: Installer) -> Option<Evicted> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = (self.cfg.set_index(addr), self.cfg.tag(addr));
+        // Already present (e.g. racing fills): refresh ready time only if
+        // the new fill completes earlier.
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.ready_at = line.ready_at.min(ready_at);
+            line.lru = tick;
+            return None;
+        }
+        let way = self.victim_way(set);
+        let line = &mut self.sets[set][way];
+        let evicted = if line.valid {
+            let victim_addr =
+                (line.tag * self.cfg.num_sets() + set as u64) * self.cfg.line_bytes;
+            let e = Evicted {
+                line_addr: victim_addr,
+                dirty: line.dirty,
+            };
+            if line.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(e)
+        } else {
+            None
+        };
+        *line = Line {
+            valid: true,
+            tag,
+            ready_at,
+            dirty: false,
+            installer,
+            lru: tick,
+        };
+        evicted
+    }
+
+    /// Re-attributes the line containing `addr` to `installer`. Used to
+    /// "claim" a p-thread-prefetched line on its first demand hit so that
+    /// coverage is counted once per prefetched line, not once per access.
+    /// No-op if the line is absent.
+    pub fn set_installer(&mut self, addr: u64, installer: Installer) {
+        let (set, tag) = (self.cfg.set_index(addr), self.cfg.tag(addr));
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.installer = installer;
+        }
+    }
+
+    /// Marks the line containing `addr` dirty (after a store hit/fill).
+    /// No-op if the line is absent.
+    pub fn mark_dirty(&mut self, addr: u64) {
+        let (set, tag) = (self.cfg.set_index(addr), self.cfg.tag(addr));
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.dirty = true;
+        }
+    }
+
+    /// Invalidates the line containing `addr`, if present.
+    pub fn invalidate(&mut self, addr: u64) {
+        let (set, tag) = (self.cfg.set_index(addr), self.cfg.tag(addr));
+        if let Some(line) = self.sets[set]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
+            line.valid = false;
+        }
+    }
+
+    fn victim_way(&self, set: usize) -> usize {
+        // Prefer an invalid way; otherwise evict true-LRU.
+        let ways = &self.sets[set];
+        if let Some(i) = ways.iter().position(|l| !l.valid) {
+            return i;
+        }
+        ways.iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.lru)
+            .map(|(i, _)| i)
+            .expect("associativity >= 1")
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache {}B/{}-way/{}B lines: {} hits, {} misses ({:.2}% miss)",
+            self.cfg.size_bytes,
+            self.cfg.assoc,
+            self.cfg.line_bytes,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.miss_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B
+        Cache::new(CacheConfig::new(512, 64, 2, 1))
+    }
+
+    #[test]
+    fn cold_miss_then_hit_after_fill() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x1000, 0), Lookup::Miss);
+        c.fill(0x1000, 10, Installer::Main);
+        match c.access(0x1000, 20) {
+            Lookup::Hit {
+                ready_at,
+                in_flight,
+                installer,
+            } => {
+                assert_eq!(ready_at, 21);
+                assert!(!in_flight);
+                assert_eq!(installer, Installer::Main);
+            }
+            Lookup::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn in_flight_merge_reports_fill_time() {
+        let mut c = tiny();
+        c.fill(0x1000, 100, Installer::Pthread);
+        match c.access(0x1000, 50) {
+            Lookup::Hit {
+                ready_at,
+                in_flight,
+                installer,
+            } => {
+                assert_eq!(ready_at, 100);
+                assert!(in_flight);
+                assert_eq!(installer, Installer::Pthread);
+            }
+            Lookup::Miss => panic!("expected in-flight hit"),
+        }
+        assert_eq!(c.stats().inflight_merges, 1);
+    }
+
+    #[test]
+    fn same_line_words_alias() {
+        let mut c = tiny();
+        c.fill(0x1000, 0, Installer::Main);
+        assert!(matches!(c.access(0x1008, 5), Lookup::Hit { .. }));
+        assert!(matches!(c.access(0x103F, 5), Lookup::Hit { .. }));
+        assert!(matches!(c.access(0x1040, 5), Lookup::Miss));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (set stride = 4 sets * 64 B).
+        let (a, b, d) = (0x0000u64, 0x0400, 0x0800);
+        c.fill(a, 0, Installer::Main);
+        c.fill(b, 0, Installer::Main);
+        // Touch `a` so `b` becomes LRU.
+        assert!(matches!(c.access(a, 1), Lookup::Hit { .. }));
+        let ev = c.fill(d, 2, Installer::Main).expect("eviction");
+        assert_eq!(ev.line_addr, b);
+        assert!(matches!(c.access(a, 3), Lookup::Hit { .. }));
+        assert!(matches!(c.access(b, 3), Lookup::Miss));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = tiny();
+        let (a, b, d) = (0x0000u64, 0x0400, 0x0800);
+        c.fill(a, 0, Installer::Main);
+        c.mark_dirty(a);
+        c.fill(b, 0, Installer::Main);
+        c.access(b, 0); // make `a` the LRU way
+        c.access(b, 0);
+        let ev = c.fill(d, 0, Installer::Main).expect("eviction");
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn refill_of_present_line_keeps_earlier_ready_time() {
+        let mut c = tiny();
+        c.fill(0x1000, 100, Installer::Main);
+        c.fill(0x1000, 50, Installer::Main);
+        match c.probe(0x1000, 0) {
+            Lookup::Hit { ready_at, .. } => assert_eq!(ready_at, 50),
+            Lookup::Miss => panic!("expected hit"),
+        }
+    }
+
+    #[test]
+    fn probe_does_not_update_stats() {
+        let mut c = tiny();
+        c.fill(0x1000, 0, Installer::Main);
+        let _ = c.probe(0x1000, 0);
+        let _ = c.probe(0x9999, 0);
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = tiny();
+        c.fill(0x1000, 0, Installer::Main);
+        c.invalidate(0x1000);
+        assert!(matches!(c.access(0x1000, 1), Lookup::Miss));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = CacheConfig::new(512, 48, 2, 1);
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = tiny();
+        let _ = c.access(0, 0);
+        c.fill(0, 0, Installer::Main);
+        let _ = c.access(0, 1);
+        assert_eq!(c.stats().miss_rate(), 0.5);
+    }
+}

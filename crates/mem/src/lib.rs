@@ -1,0 +1,29 @@
+//! # preexec-mem
+//!
+//! Parametric memory hierarchy for the pre-execution reproduction: a
+//! set-associative [`Cache`] with LRU replacement and in-flight fill
+//! tracking, and a two-level [`Hierarchy`] (L1I/L1D + unified L2 + infinite
+//! main memory) mirroring the paper's SimpleScalar configuration.
+//!
+//! Three clients share this crate so their views of memory behaviour agree:
+//! the profiling pass (which classifies static loads as "problem" loads),
+//! the critical-path analyzer (which needs per-dynamic-load latency
+//! classes), and the cycle-level timing simulator.
+//!
+//! The key modelling decision is *immediate tag update with delayed data*:
+//! a fill installs the tag right away together with the cycle its data
+//! arrives. A later request to the same line merges with the outstanding
+//! fill and observes the residual latency. This is what distinguishes
+//! *fully* covered prefetches from *partially* covered ones in the paper's
+//! Figure 3 diagnostics.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod hierarchy;
+mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheStats, Evicted, Installer, Lookup};
+pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyStats, Level, MemAccess};
+pub use tlb::{Tlb, TlbConfig, TlbStats};

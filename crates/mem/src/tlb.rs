@@ -1,0 +1,202 @@
+//! Translation lookaside buffers.
+//!
+//! The paper's machine has 64-entry instruction and data TLBs. Their
+//! energy is folded into the I/D-cache access constants (as the paper's
+//! own per-structure breakdown does: "i-cache/TLB", "d-cache/TLB/LSQ"),
+//! so the TLBs here model *timing*: a miss costs a page-walk latency.
+//! They are optional and disabled in the default configuration — the
+//! headline reproduction charges no TLB latency, matching the tuning in
+//! EXPERIMENTS.md — but can be enabled for sensitivity studies via
+//! [`HierarchyConfig::tlb`](crate::HierarchyConfig).
+
+use std::fmt;
+
+/// TLB geometry and miss cost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TlbConfig {
+    /// Number of entries (fully associative, true LRU).
+    pub entries: usize,
+    /// Page size in bytes (power of two; Alpha-style 8 KiB default).
+    pub page_bytes: u64,
+    /// Page-walk latency charged on a miss, in cycles.
+    pub miss_latency: u64,
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        TlbConfig {
+            entries: 64,
+            page_bytes: 8 * 1024,
+            miss_latency: 30,
+        }
+    }
+}
+
+/// A fully-associative TLB with true LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use preexec_mem::{Tlb, TlbConfig};
+/// let mut tlb = Tlb::new(TlbConfig::default());
+/// assert!(!tlb.access(0x4000)); // cold miss
+/// assert!(tlb.access(0x5000));  // same 8K page: hit
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    /// `(page number, last-use tick)` pairs.
+    entries: Vec<(u64, u64)>,
+    tick: u64,
+    stats: TlbStats,
+}
+
+/// TLB access counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TlbStats {
+    /// Translations requested.
+    pub accesses: u64,
+    /// Translations that missed (page walks).
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page size is not a power of two or `entries` is zero.
+    pub fn new(cfg: TlbConfig) -> Tlb {
+        assert!(cfg.page_bytes.is_power_of_two(), "page size");
+        assert!(cfg.entries > 0, "need at least one entry");
+        Tlb {
+            cfg,
+            entries: Vec::with_capacity(cfg.entries),
+            tick: 0,
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Translates `addr`, returning `true` on a hit. A miss installs the
+    /// page (evicting the LRU entry when full).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let page = addr / self.cfg.page_bytes;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.tick;
+            return true;
+        }
+        self.stats.misses += 1;
+        if self.entries.len() < self.cfg.entries {
+            self.entries.push((page, self.tick));
+        } else {
+            let lru = self
+                .entries
+                .iter_mut()
+                .min_by_key(|(_, t)| *t)
+                .expect("nonempty");
+            *lru = (page, self.tick);
+        }
+        false
+    }
+
+    /// The miss latency this TLB charges.
+    pub fn miss_latency(&self) -> u64 {
+        self.cfg.miss_latency
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> &TlbStats {
+        &self.stats
+    }
+}
+
+impl fmt::Display for Tlb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tlb {} entries, {}B pages: {:.2}% miss",
+            self.cfg.entries,
+            self.cfg.page_bytes,
+            self.stats.miss_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig {
+            entries: 4,
+            page_bytes: 4096,
+            miss_latency: 30,
+        })
+    }
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = tiny();
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1ff8));
+        assert!(!t.access(0x2000));
+        assert_eq!(t.stats().accesses, 3);
+        assert_eq!(t.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = tiny();
+        for p in 0..4u64 {
+            t.access(p * 4096);
+        }
+        // Touch page 0 so page 1 is LRU.
+        assert!(t.access(0));
+        assert!(!t.access(4 * 4096)); // evicts page 1
+        assert!(t.access(0));
+        assert!(!t.access(4096)); // page 1 gone
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_missing() {
+        let mut t = tiny();
+        for _ in 0..8 {
+            for p in 0..4u64 {
+                t.access(p * 4096);
+            }
+        }
+        assert_eq!(t.stats().misses, 4, "only the cold misses");
+    }
+
+    #[test]
+    fn miss_rate_and_display() {
+        let mut t = tiny();
+        t.access(0);
+        t.access(0);
+        assert!((t.stats().miss_rate() - 0.5).abs() < 1e-12);
+        assert!(t.to_string().contains("4 entries"));
+    }
+
+    #[test]
+    #[should_panic(expected = "page size")]
+    fn bad_page_size_panics() {
+        let _ = Tlb::new(TlbConfig {
+            entries: 4,
+            page_bytes: 3000,
+            miss_latency: 30,
+        });
+    }
+}

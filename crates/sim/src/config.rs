@@ -1,0 +1,133 @@
+//! Simulator configuration.
+
+use preexec_bpred::PredictorConfig;
+use preexec_mem::HierarchyConfig;
+
+/// Structural parameters of the simulated machine. Defaults mirror the
+/// paper's configuration: a 6-way superscalar, 15-stage pipeline with a
+/// 128-entry ROB, 80 reservation stations, 8 thread contexts, 2 load +
+/// 1 store issue ports, and 16 outstanding misses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimConfig {
+    /// Instructions fetched per cycle (shared between the main thread and
+    /// p-thread sequencing).
+    pub fetch_width: u32,
+    /// Instructions decoded/renamed per cycle.
+    pub decode_width: u32,
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Reorder-buffer entries (main thread only; p-instructions are not
+    /// allocated ROB entries).
+    pub rob_size: usize,
+    /// Shared reservation stations.
+    pub rs_size: usize,
+    /// Hardware thread contexts beyond the main thread (p-thread slots).
+    pub pthread_contexts: usize,
+    /// Cycles from fetch to decode/rename (front-end depth; with issue and
+    /// execute this yields the paper's 15-stage flavour).
+    pub decode_delay: u64,
+    /// Loads issued per cycle.
+    pub load_ports: u32,
+    /// Stores issued per cycle.
+    pub store_ports: u32,
+    /// Maximum outstanding cache misses (MSHRs), shared by all threads.
+    pub mshrs: usize,
+    /// Integer multiply latency.
+    pub mul_latency: u64,
+    /// Memory hierarchy geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Branch predictor sizing.
+    pub predictor: PredictorConfig,
+    /// Where p-threads spawn: at trigger decode (DDMT's checkpoint fork,
+    /// the default — wrong-path triggers spawn too) or at trigger commit
+    /// (no wrong-path spawns but less lookahead). An ablation knob.
+    pub spawn_point: SpawnPoint,
+    /// If `true`, p-thread target loads fill the L1D as well as the L2
+    /// (the paper's optional L1-prefetching variant; risks pollution).
+    pub prefetch_l1: bool,
+    /// Commits to run before measurement starts: the paper's sampled
+    /// methodology warms caches and predictors before measuring. `0`
+    /// measures from the first cycle.
+    pub warmup_commits: u64,
+    /// Safety cap on simulated cycles.
+    pub max_cycles: u64,
+}
+
+/// When a trigger spawns its p-thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SpawnPoint {
+    /// At decode of the trigger (DDMT default).
+    #[default]
+    Decode,
+    /// At commit of the trigger.
+    Commit,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fetch_width: 6,
+            decode_width: 6,
+            issue_width: 6,
+            commit_width: 6,
+            rob_size: 128,
+            rs_size: 80,
+            pthread_contexts: 7,
+            decode_delay: 4,
+            load_ports: 2,
+            store_ports: 1,
+            mshrs: 16,
+            mul_latency: 3,
+            hierarchy: HierarchyConfig::default(),
+            predictor: PredictorConfig::default(),
+            spawn_point: SpawnPoint::Decode,
+            prefetch_l1: false,
+            warmup_commits: 0,
+            max_cycles: 200_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns a copy with a different memory latency (Figure 5 sweep).
+    pub fn with_mem_latency(mut self, latency: u64) -> Self {
+        self.hierarchy.mem_latency = latency;
+        self
+    }
+
+    /// Returns a copy with a different L2 size/latency (Figure 5 sweep).
+    pub fn with_l2(mut self, size_bytes: u64, latency: u64) -> Self {
+        self.hierarchy = self.hierarchy.with_l2(size_bytes, latency);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_machine() {
+        let c = SimConfig::default();
+        assert_eq!(c.fetch_width, 6);
+        assert_eq!(c.rob_size, 128);
+        assert_eq!(c.rs_size, 80);
+        assert_eq!(c.pthread_contexts, 7); // 8 contexts incl. main
+        assert_eq!(c.load_ports, 2);
+        assert_eq!(c.store_ports, 1);
+        assert_eq!(c.mshrs, 16);
+        assert_eq!(c.hierarchy.mem_latency, 200);
+    }
+
+    #[test]
+    fn sweep_helpers() {
+        let c = SimConfig::default()
+            .with_mem_latency(300)
+            .with_l2(128 * 1024, 10);
+        assert_eq!(c.hierarchy.mem_latency, 300);
+        assert_eq!(c.hierarchy.l2.size_bytes, 128 * 1024);
+        assert_eq!(c.hierarchy.l2.latency, 10);
+    }
+}

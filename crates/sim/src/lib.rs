@@ -1,0 +1,27 @@
+//! # preexec-sim
+//!
+//! A cycle-driven timing simulator of the paper's machine: a 6-way
+//! dynamically-scheduled superscalar with a 15-stage pipeline flavour,
+//! 128-entry ROB, 80 shared reservation stations, 8 thread contexts, a
+//! two-level on-chip memory hierarchy (from `preexec-mem`), the shared
+//! hybrid branch predictor (from `preexec-bpred`), and **DDMT-style
+//! pre-execution**: control-less, unchained p-threads spawned
+//! microarchitecturally when the main thread decodes a trigger, executed
+//! in lightweight mode (no ROB/LSQ, no retirement), prefetching into the
+//! L2.
+//!
+//! The simulator reports cycles, per-structure access counts (consumed by
+//! `preexec-energy`), and the pre-execution diagnostics of the paper's
+//! Figure 3: spawns, useless spawns, fully/partially covered misses, and
+//! p-instruction overhead.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod pipeline;
+mod report;
+
+pub use config::{SimConfig, SpawnPoint};
+pub use pipeline::Simulator;
+pub use report::SimReport;

@@ -1,0 +1,147 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+use preexec_energy::{AccessCounts, EnergyBreakdown, EnergyConfig};
+
+/// Everything a run of the timing simulator produces: cycle count,
+/// architectural progress, pre-execution diagnostics, structure-access
+/// counts, and predictor accuracy.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Simulated cycles until the program's `halt` committed.
+    pub cycles: u64,
+    /// Main-thread instructions committed.
+    pub committed: u64,
+    /// P-instructions dispatched (executed in lightweight mode).
+    pub pinsts: u64,
+    /// P-threads spawned.
+    pub spawns: u64,
+    /// Spawns dropped because no thread context was free.
+    pub spawns_dropped: u64,
+    /// Spawns that occurred on a mispredicted (wrong) path.
+    pub spawns_wrong_path: u64,
+    /// Main-thread demand loads that missed the L2.
+    pub l2_misses_demand: u64,
+    /// Demand misses fully covered by a p-thread prefetch (the line was
+    /// ready by the time the main thread asked).
+    pub covered_full: u64,
+    /// Demand misses partially covered (the prefetch was in flight).
+    pub covered_partial: u64,
+    /// Conditional-branch mispredictions.
+    pub mispredicts: u64,
+    /// Conditional branches resolved.
+    pub branches: u64,
+    /// Fetch-time branch predictions taken from p-thread hints (branch
+    /// pre-execution, §7).
+    pub hints_used: u64,
+    /// Hinted predictions that turned out correct.
+    pub hints_correct: u64,
+    /// Peak count of p-instructions holding a destination register at
+    /// once — a proxy for the extra physical registers p-threads need
+    /// (the paper reports ~20 suffice even with 8 contexts).
+    pub max_pthread_pregs: u64,
+    /// Structure-access counts for the energy model.
+    pub counts: AccessCounts,
+    /// `true` if the run ended by committing `halt` (vs. the cycle cap).
+    pub finished: bool,
+}
+
+impl SimReport {
+    /// Committed instructions per cycle (main thread only).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of spawns whose p-thread covered at least one miss.
+    pub fn usefulness(&self) -> f64 {
+        if self.spawns == 0 {
+            0.0
+        } else {
+            (self.covered_full + self.covered_partial) as f64 / self.spawns as f64
+        }
+    }
+
+    /// P-instruction count as a fraction of committed instructions.
+    pub fn pinst_overhead(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.pinsts as f64 / self.committed as f64
+        }
+    }
+
+    /// The energy breakdown of this run under `cfg`.
+    pub fn energy(&self, cfg: &EnergyConfig) -> EnergyBreakdown {
+        EnergyBreakdown::compute(&self.counts, self.cycles, cfg)
+    }
+
+    /// Total energy of this run under `cfg`.
+    pub fn total_energy(&self, cfg: &EnergyConfig) -> f64 {
+        self.energy(cfg).total()
+    }
+
+    /// Energy-delay product (energy × cycles).
+    pub fn ed(&self, cfg: &EnergyConfig) -> f64 {
+        self.total_energy(cfg) * self.cycles as f64
+    }
+
+    /// Energy-delay² product.
+    pub fn ed2(&self, cfg: &EnergyConfig) -> f64 {
+        self.ed(cfg) * self.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            cycles: 1000,
+            committed: 1500,
+            pinsts: 300,
+            spawns: 100,
+            covered_full: 40,
+            covered_partial: 20,
+            ..SimReport::default()
+        }
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let r = report();
+        assert!((r.ipc() - 1.5).abs() < 1e-12);
+        assert!((r.usefulness() - 0.6).abs() < 1e-12);
+        assert!((r.pinst_overhead() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let r = SimReport::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.usefulness(), 0.0);
+        assert_eq!(r.pinst_overhead(), 0.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = report();
+        let s = serde_json::to_string(&r).unwrap();
+        let back: SimReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.cycles, r.cycles);
+        assert_eq!(back.covered_full, r.covered_full);
+    }
+
+    #[test]
+    fn ed_metrics_multiply_delay() {
+        let r = report();
+        let cfg = EnergyConfig::default();
+        let e = r.total_energy(&cfg);
+        assert!((r.ed(&cfg) - e * 1000.0).abs() < 1e-6);
+        assert!((r.ed2(&cfg) - e * 1_000_000.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,28 @@
+//! # preexec-slicer
+//!
+//! Backward data-dependence slicing of dynamic traces into the annotated
+//! **slice trees** PTHSEL analyzes (paper §2.2).
+//!
+//! * [`backward_slice`] — the register-dataflow closure of one dynamic
+//!   instruction within a slicing window.
+//! * [`SliceTree`] — per-problem-load candidate space: every node is a
+//!   linear p-thread (trigger + body), annotated with the trace-mined
+//!   `DCptcm` / `DCtrig` counts the PTHSEL equations consume.
+//! * [`collapse_inductions`] / [`merge_bodies`] — the Figure 1 body
+//!   optimizations (induction unrolling collapse, composite merging).
+//!
+//! Control and memory dependences are deliberately *not* sliced:
+//! DDMT p-threads are control-less (forks in the tree capture the paths a
+//! control decision selects among) and re-execute loads rather than
+//! receiving store values.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod optimize;
+mod slice;
+mod tree;
+
+pub use optimize::{alu_count, collapse_inductions, load_count, merge_bodies};
+pub use slice::{backward_slice, SliceConfig};
+pub use tree::{NodeId, SliceNode, SliceTree};

@@ -1,0 +1,186 @@
+//! P-thread body optimization and merging.
+//!
+//! Two transformations from the paper's Figure 1:
+//!
+//! * **Induction collapsing** (1c → 1d): consecutive copies of the same
+//!   induction update (`i++; i++` from unrolling) merge into one
+//!   (`i += 2`), since no intervening body instruction reads the counter.
+//! * **Composite merging** (1d → 1e): selected linear p-threads with a
+//!   common trigger merge into one composite p-thread that pre-executes
+//!   every fork of the slice, lowering per-spawn overhead.
+
+use preexec_isa::{AluOp, Inst};
+
+/// Collapses runs of identical-register additive induction updates.
+///
+/// A run of `addi r, r, k1; addi r, r, k2; …` with no intervening reader of
+/// `r` becomes a single `addi r, r, k1+k2+…`. This is safe inside a
+/// p-thread body because the intermediate counter values are, by
+/// construction of the run, unread.
+pub fn collapse_inductions(body: &[Inst]) -> Vec<Inst> {
+    let mut out: Vec<Inst> = Vec::with_capacity(body.len());
+    for &inst in body {
+        if let (
+            Some(&Inst::AluImm {
+                op: AluOp::Add,
+                dst: pd,
+                src1: ps,
+                imm: pi,
+            }),
+            Inst::AluImm {
+                op: AluOp::Add,
+                dst,
+                src1,
+                imm,
+            },
+        ) = (out.last(), inst)
+        {
+            // Same self-update register, back to back.
+            if pd == ps && dst == src1 && dst == pd {
+                *out.last_mut().expect("nonempty") = Inst::AluImm {
+                    op: AluOp::Add,
+                    dst,
+                    src1,
+                    imm: pi + imm,
+                };
+                continue;
+            }
+        }
+        out.push(inst);
+    }
+    out
+}
+
+/// Merges several linear bodies that share a trigger into one composite
+/// body: instructions are kept in first-occurrence order and instructions
+/// common to multiple bodies (the shared slice prefix) appear once.
+///
+/// Identical instructions are unified only while the bodies still agree
+/// (a common prefix); once bodies diverge their tails are concatenated so
+/// that, e.g., both `rxid` computations and both copies of the target load
+/// are pre-executed, as in Figure 1e.
+pub fn merge_bodies(bodies: &[Vec<Inst>]) -> Vec<Inst> {
+    match bodies {
+        [] => Vec::new(),
+        [only] => only.clone(),
+        _ => {
+            // Shared prefix across all bodies.
+            let mut prefix = 0;
+            while let Some(first) = bodies[0].get(prefix) {
+                if bodies[1..].iter().any(|b| b.get(prefix) != Some(first)) {
+                    break;
+                }
+                prefix += 1;
+            }
+            let mut out: Vec<Inst> = bodies[0][..prefix].to_vec();
+            for b in bodies {
+                out.extend_from_slice(&b[prefix..]);
+            }
+            out
+        }
+    }
+}
+
+/// Counts ALU (non-load) instructions in a body — the paper's `ALU(p)`.
+pub fn alu_count(body: &[Inst]) -> usize {
+    body.iter().filter(|i| !i.is_load()).count()
+}
+
+/// Counts loads in a body — the paper's `LOAD(p)`.
+pub fn load_count(body: &[Inst]) -> usize {
+    body.iter().filter(|i| i.is_load()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_isa::Reg;
+
+    fn addi(r: u8, imm: i64) -> Inst {
+        Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::new(r),
+            src1: Reg::new(r),
+            imm,
+        }
+    }
+
+    fn ld(dst: u8, base: u8) -> Inst {
+        Inst::Load {
+            dst: Reg::new(dst),
+            base: Reg::new(base),
+            offset: 0,
+        }
+    }
+
+    #[test]
+    fn consecutive_inductions_collapse() {
+        let body = vec![addi(1, 1), addi(1, 1), addi(1, 1), ld(2, 1)];
+        let opt = collapse_inductions(&body);
+        assert_eq!(opt, vec![addi(1, 3), ld(2, 1)]);
+    }
+
+    #[test]
+    fn interleaved_reader_blocks_collapse() {
+        let body = vec![addi(1, 1), ld(2, 1), addi(1, 1), ld(3, 1)];
+        let opt = collapse_inductions(&body);
+        assert_eq!(opt, body, "a read between updates must block merging");
+    }
+
+    #[test]
+    fn different_registers_do_not_collapse() {
+        let body = vec![addi(1, 1), addi(2, 1)];
+        assert_eq!(collapse_inductions(&body), body);
+    }
+
+    #[test]
+    fn non_self_updates_do_not_collapse() {
+        let other = Inst::AluImm {
+            op: AluOp::Add,
+            dst: Reg::new(2),
+            src1: Reg::new(1),
+            imm: 1,
+        };
+        let body = vec![other, other];
+        assert_eq!(collapse_inductions(&body), body);
+    }
+
+    #[test]
+    fn merge_shares_common_prefix() {
+        let a = vec![addi(1, 2), ld(2, 1), ld(3, 2)];
+        let b = vec![addi(1, 2), ld(4, 1), ld(3, 4)];
+        let m = merge_bodies(&[a, b]);
+        // Prefix addi shared once; both tails present.
+        assert_eq!(m.len(), 5);
+        assert_eq!(m[0], addi(1, 2));
+        assert_eq!(load_count(&m), 4);
+    }
+
+    #[test]
+    fn merge_of_single_body_is_identity() {
+        let a = vec![addi(1, 2), ld(2, 1)];
+        assert_eq!(merge_bodies(std::slice::from_ref(&a)), a);
+        assert!(merge_bodies(&[]).is_empty());
+    }
+
+    #[test]
+    fn counts_partition_the_body() {
+        let body = vec![addi(1, 1), ld(2, 1), addi(2, 4), ld(3, 2)];
+        assert_eq!(alu_count(&body) + load_count(&body), body.len());
+        assert_eq!(load_count(&body), 2);
+    }
+
+    #[test]
+    fn figure1_shape_collapse_then_merge() {
+        // Two unoptimized linear p-threads: three i++ then field load then
+        // target, forking on the field.
+        let a = vec![addi(1, 1), addi(1, 1), ld(5, 1), ld(6, 5)];
+        let b = vec![addi(1, 1), addi(1, 1), ld(7, 1), ld(6, 7)];
+        let oa = collapse_inductions(&a);
+        let ob = collapse_inductions(&b);
+        assert_eq!(oa[0], addi(1, 2)); // i += 2
+        let m = merge_bodies(&[oa, ob]);
+        assert_eq!(m[0], addi(1, 2));
+        assert_eq!(m.len(), 5); // shared induction + two 2-inst tails
+    }
+}

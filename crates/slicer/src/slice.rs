@@ -1,0 +1,165 @@
+//! Backward dynamic slicing.
+
+use preexec_trace::{Seq, Trace};
+
+/// Configuration of the slicing pass, defaulting to the paper's settings:
+/// a 2048-instruction slicing window and 64 instructions per linear
+/// p-thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SliceConfig {
+    /// How far (in dynamic instructions) a slice may reach back from the
+    /// target.
+    pub window: u64,
+    /// Maximum instructions in one linear p-thread body.
+    pub max_body: usize,
+    /// Cap on slice-tree nodes, bounding analysis cost.
+    pub max_tree_nodes: usize,
+}
+
+impl Default for SliceConfig {
+    fn default() -> Self {
+        SliceConfig {
+            window: 2048,
+            max_body: 64,
+            max_tree_nodes: 4096,
+        }
+    }
+}
+
+/// Computes the backward dynamic data slice of the instruction at `target`.
+///
+/// The slice is the transitive closure over *register* dependences only:
+/// memory dependences are not followed because a p-thread re-executes loads
+/// rather than receiving forwarded store values (stores cannot appear in
+/// DDMT p-threads), and control dependences are not followed because
+/// p-threads are control-less. The result is in backward order — `target`
+/// first, then producers by descending sequence number — truncated to
+/// `cfg.window` reach and `cfg.max_body` length.
+pub fn backward_slice(trace: &Trace, target: Seq, cfg: &SliceConfig) -> Vec<Seq> {
+    let low = target.saturating_sub(cfg.window);
+    let mut in_slice: Vec<Seq> = Vec::with_capacity(cfg.max_body);
+    let mut worklist: Vec<Seq> = vec![target];
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(target);
+    while let Some(s) = worklist.pop() {
+        in_slice.push(s);
+        let e = trace.event(s);
+        for dep in e.src_deps.iter().flatten() {
+            if *dep >= low && seen.insert(*dep) {
+                worklist.push(*dep);
+            }
+        }
+    }
+    in_slice.sort_unstable_by(|a, b| b.cmp(a));
+    in_slice.truncate(cfg.max_body);
+    in_slice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_isa::{ProgramBuilder, Reg};
+    use preexec_trace::FuncSim;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn slice_of_chain_is_whole_chain() {
+        let mut b = ProgramBuilder::new("chain");
+        b.li(r(1), 1); // 0
+        b.addi(r(1), r(1), 2); // 1
+        b.addi(r(1), r(1), 3); // 2
+        b.ld(r(2), r(1), 0); // 3
+        b.halt();
+        let p = b.build();
+        let t = FuncSim::new(&p).run_trace(100);
+        let s = backward_slice(&t, 3, &SliceConfig::default());
+        assert_eq!(s, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn unrelated_instructions_excluded() {
+        let mut b = ProgramBuilder::new("mix");
+        b.li(r(1), 1); // 0: in slice
+        b.li(r(3), 9); // 1: unrelated
+        b.addi(r(3), r(3), 1); // 2: unrelated
+        b.ld(r(2), r(1), 0); // 3: target
+        b.halt();
+        let p = b.build();
+        let t = FuncSim::new(&p).run_trace(100);
+        let s = backward_slice(&t, 3, &SliceConfig::default());
+        assert_eq!(s, vec![3, 0]);
+    }
+
+    #[test]
+    fn memory_deps_are_not_followed() {
+        let mut b = ProgramBuilder::new("st-ld");
+        b.li(r(1), 0x100); // 0
+        b.li(r(3), 5); // 1 (value producer, via memory)
+        b.st(r(3), r(1), 0); // 2
+        b.ld(r(2), r(1), 0); // 3: target reads what 2 stored
+        b.halt();
+        let p = b.build();
+        let t = FuncSim::new(&p).run_trace(100);
+        let s = backward_slice(&t, 3, &SliceConfig::default());
+        // Only the address computation, not the store or its value chain.
+        assert_eq!(s, vec![3, 0]);
+    }
+
+    #[test]
+    fn window_truncates_reach() {
+        let mut b = ProgramBuilder::new("window");
+        b.li(r(1), 0); // 0: producer of the whole chain
+        for _ in 0..30 {
+            b.addi(r(1), r(1), 1);
+        }
+        b.ld(r(2), r(1), 0); // 31
+        b.halt();
+        let p = b.build();
+        let t = FuncSim::new(&p).run_trace(100);
+        let cfg = SliceConfig {
+            window: 10,
+            ..SliceConfig::default()
+        };
+        let s = backward_slice(&t, 31, &cfg);
+        // Reaches back at most 10 dynamic instructions.
+        assert!(s.iter().all(|&x| x >= 21));
+        assert_eq!(s[0], 31);
+    }
+
+    #[test]
+    fn max_body_truncates_keeping_nearest() {
+        let mut b = ProgramBuilder::new("len");
+        b.li(r(1), 0);
+        for _ in 0..30 {
+            b.addi(r(1), r(1), 1);
+        }
+        b.ld(r(2), r(1), 0); // 31
+        b.halt();
+        let p = b.build();
+        let t = FuncSim::new(&p).run_trace(100);
+        let cfg = SliceConfig {
+            max_body: 4,
+            ..SliceConfig::default()
+        };
+        let s = backward_slice(&t, 31, &cfg);
+        assert_eq!(s, vec![31, 30, 29, 28]);
+    }
+
+    #[test]
+    fn diamond_dependence_visits_once() {
+        let mut b = ProgramBuilder::new("diamond");
+        b.li(r(1), 3); // 0
+        b.addi(r(2), r(1), 1); // 1
+        b.addi(r(3), r(1), 2); // 2
+        b.add(r(4), r(2), r(3)); // 3
+        b.ld(r(5), r(4), 0); // 4
+        b.halt();
+        let p = b.build();
+        let t = FuncSim::new(&p).run_trace(100);
+        let s = backward_slice(&t, 4, &SliceConfig::default());
+        assert_eq!(s, vec![4, 3, 2, 1, 0]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Dynamic trace events.
+
+use preexec_isa::{Inst, Pc};
+
+/// Index of a dynamic instruction within a trace (its retirement order).
+pub type Seq = u64;
+
+/// One retired dynamic instruction with its dataflow provenance.
+///
+/// Besides the architectural outcome (effective address, branch direction),
+/// each event records which earlier dynamic instruction produced each of its
+/// register sources and — for loads — which earlier store last wrote the
+/// loaded word. These edges are what the backward slicer and the
+/// critical-path analyzer walk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Dynamic sequence number (position in the trace).
+    pub seq: Seq,
+    /// Static PC of the instruction.
+    pub pc: Pc,
+    /// The instruction itself (copied; instructions are small).
+    pub inst: Inst,
+    /// Effective address, for loads and stores.
+    pub addr: Option<u64>,
+    /// Branch direction, for conditional branches.
+    pub taken: Option<bool>,
+    /// PC of the next dynamic instruction.
+    pub next_pc: Pc,
+    /// Producer of each register source, in [`Inst::srcs`] order. `None`
+    /// when the source is `r0`, a program input (never written), or the
+    /// producer predates the trace window.
+    pub src_deps: [Option<Seq>; 2],
+    /// For loads: the store that last wrote the loaded word, if it occurred
+    /// within the trace.
+    pub mem_dep: Option<Seq>,
+}
+
+/// A complete dynamic trace: the retired-instruction stream of one program
+/// run.
+///
+/// # Examples
+///
+/// ```
+/// use preexec_isa::{ProgramBuilder, Reg};
+/// use preexec_trace::FuncSim;
+///
+/// let mut b = ProgramBuilder::new("p");
+/// b.li(Reg::new(1), 3);
+/// b.addi(Reg::new(2), Reg::new(1), 4);
+/// b.halt();
+/// let prog = b.build();
+/// let trace = FuncSim::new(&prog).run_trace(1000);
+/// assert_eq!(trace.len(), 3);
+/// assert_eq!(trace.event(1).src_deps[0], Some(0)); // addi reads li's value
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    halted: bool,
+}
+
+impl Trace {
+    pub(crate) fn from_parts(events: Vec<TraceEvent>, halted: bool) -> Trace {
+        Trace { events, halted }
+    }
+
+    /// Number of dynamic instructions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// `true` if the traced program ran to its `halt` (rather than hitting
+    /// the instruction budget).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The event with sequence number `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is out of range.
+    #[inline]
+    pub fn event(&self, seq: Seq) -> &TraceEvent {
+        &self.events[seq as usize]
+    }
+
+    /// The event with sequence number `seq`, or `None` if out of range.
+    #[inline]
+    pub fn get(&self, seq: Seq) -> Option<&TraceEvent> {
+        self.events.get(seq as usize)
+    }
+
+    /// All events in retirement order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Iterates over events in retirement order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceEvent> {
+        self.events.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_isa::Reg;
+
+    fn ev(seq: Seq) -> TraceEvent {
+        TraceEvent {
+            seq,
+            pc: seq as Pc,
+            inst: Inst::Nop,
+            addr: None,
+            taken: None,
+            next_pc: seq as Pc + 1,
+            src_deps: [None, None],
+            mem_dep: None,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Trace::from_parts(vec![ev(0), ev(1)], true);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert!(t.halted());
+        assert_eq!(t.event(1).seq, 1);
+        assert!(t.get(2).is_none());
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!((&t).into_iter().count(), 2);
+    }
+
+    #[test]
+    fn event_fields_default_sanity() {
+        let e = TraceEvent {
+            seq: 0,
+            pc: 0,
+            inst: Inst::Load {
+                dst: Reg::new(1),
+                base: Reg::new(2),
+                offset: 0,
+            },
+            addr: Some(0x100),
+            taken: None,
+            next_pc: 1,
+            src_deps: [Some(7), None],
+            mem_dep: Some(3),
+        };
+        assert_eq!(e.addr, Some(0x100));
+        assert_eq!(e.mem_dep, Some(3));
+    }
+}

@@ -1,0 +1,143 @@
+//! bzip2 surrogate: deep, cleanly sliceable indirect array access.
+//!
+//! Character reproduced: bzip2's problem loads index a large block-sorting
+//! work array through a small sequential index table. Slices are compact
+//! (`i++ → ld idx[i] → scale → ld data[j]`) and unroll arbitrarily deep, so
+//! p-thread selection can cover almost every miss — at the cost of a large
+//! p-instruction count (the paper reports a 44–48% instruction increase).
+//! The `ref` input is *less* memory critical than `train` (its footprint
+//! largely fits the L2), which is the §5.3 robustness anomaly.
+
+use crate::util::{random_indices, region, rng_for, word_off};
+use crate::InputSet;
+use preexec_isa::{Program, ProgramBuilder, Reg};
+
+struct Params {
+    iters: i64,
+    /// Words in the indirectly-indexed data array.
+    data_words: u64,
+}
+
+fn params(input: InputSet) -> Params {
+    match input {
+        // 512 KiB footprint: roughly half the indirect loads miss the L2.
+        InputSet::Train => Params {
+            iters: 3000,
+            data_words: 1 << 16,
+        },
+        // 48 KiB footprint: L2-resident after first touch, much less
+        // memory critical.
+        InputSet::Ref => Params {
+            iters: 3000,
+            data_words: 2 << 10,
+        },
+    }
+}
+
+/// Builds the bzip2 surrogate.
+pub fn build(input: InputSet) -> Program {
+    let p = params(input);
+    let mut rng = rng_for("bzip2", input);
+    let idx_base = region(0);
+    let data_base = region(1);
+    let mut b = ProgramBuilder::new("bzip2");
+    // idx entries carry the data offset in the upper bits and a
+    // "run-already-coded" skip flag in bit 0: ~35% of iterations never
+    // reach the data load, so a p-thread spawned at the induction is
+    // useless for them (the paper's useless-spawn channel).
+    let idx = random_indices(&mut rng, p.iters as usize, p.data_words);
+    let skips = random_indices(&mut rng, p.iters as usize, 100);
+    let entries: Vec<u64> = idx
+        .iter()
+        .zip(&skips)
+        .map(|(&w, &s)| word_off(w) | u64::from(s < 35))
+        .collect();
+    b.data_slice(idx_base, &entries);
+
+    let (i, n, ib, db, j, v, sum, acc, f) = (
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(4),
+        Reg::new(5),
+        Reg::new(6),
+        Reg::new(7),
+        Reg::new(8),
+        Reg::new(9),
+    );
+    let (q, f2) = (Reg::new(10), Reg::new(11));
+    b.li(i, 0).li(n, p.iters).li(ib, idx_base as i64).li(db, data_base as i64);
+    b.li(sum, 0).li(acc, 1).li(q, 1);
+    b.label("loop");
+    // A 1-instruction value recurrence woven into the address slice: it
+    // cannot be collapsed like the induction, so unrolled p-threads carry
+    // ~2 instructions per hoisted iteration (paper-like body lengths).
+    b.add(q, q, i);
+    b.shli(j, i, 3); // i -> byte offset into idx
+    b.add(j, j, ib);
+    b.ld(j, j, 0); // j = idx[i]          (L1-resident: sequential)
+    b.andi(f, j, 1);
+    b.bne(f, Reg::ZERO, "skip"); // run already coded
+    b.andi(j, j, !7);
+    b.andi(f2, q, 0x3c0);
+    b.xor(j, j, f2); // block-sort bucket rotation (depends on q)
+    b.add(j, j, db);
+    b.ld(v, j, 0); // v = data[j]         <- problem load
+    // Compression-flavoured ALU work (Huffman/MTF-like integer mixing):
+    // gives the loop a realistic compute-to-miss ratio so the critical
+    // path is only partly memory and p-thread bandwidth contention is
+    // visible.
+    b.add(sum, sum, v);
+    b.xor(acc, acc, sum);
+    crate::util::emit_work(&mut b, [acc, sum, v], 22);
+    b.label("skip");
+    b.addi(i, i, 1);
+    b.blt(i, n, "loop");
+    // Compute-only phase: the non-targeted part of the program, sized to
+    // reproduce this benchmark's memory-bound critical-path fraction.
+    crate::util::emit_compute_phase(&mut b, "bzip2", 30000);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_mem::HierarchyConfig;
+    use preexec_trace::{FuncSim, MemAnnotation, Profile};
+
+    #[test]
+    fn train_has_a_dominant_problem_load() {
+        let p = build(InputSet::Train);
+        let t = FuncSim::new(&p).run_trace(1_000_000);
+        assert!(t.halted());
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let prof = Profile::compute(&p, &t, &ann);
+        let probs = prof.problem_loads(&p, 100);
+        assert!(!probs.is_empty(), "train input must expose a problem load");
+        // The dominant problem load should miss on a large fraction of
+        // its executions.
+        let top = probs[0];
+        assert!(top.l2_misses as f64 / top.execs as f64 > 0.5);
+    }
+
+    #[test]
+    fn ref_is_less_memory_critical_than_train() {
+        let pt = build(InputSet::Train);
+        let tt = FuncSim::new(&pt).run_trace(1_000_000);
+        let at = MemAnnotation::compute(&tt, HierarchyConfig::default());
+        let proft = Profile::compute(&pt, &tt, &at);
+
+        let pr = build(InputSet::Ref);
+        let tr = FuncSim::new(&pr).run_trace(1_000_000);
+        let ar = MemAnnotation::compute(&tr, HierarchyConfig::default());
+        let profr = Profile::compute(&pr, &tr, &ar);
+
+        assert!(
+            profr.total_l2_misses() * 2 < proft.total_l2_misses(),
+            "ref misses {} should be well below train misses {}",
+            profr.total_l2_misses(),
+            proft.total_l2_misses()
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! The paper's Figure 1 example loop, used for documentation and tests.
+//!
+//! ```c
+//! for (i = 0; i < N_XACT; i++) {          // 100 iterations
+//!     if (xact[i].cover == FULL) continue; // ~20 times
+//!     else if (xact[i].cover == PART) rxid = xact[i].rxid;   // ~60
+//!     else                            rxid = xact[i].g_rxid; // ~20
+//!     receipts += rx[rxid].price;          // 80 times, ~40 misses
+//! }
+//! ```
+//!
+//! The `rx[rxid].price` load is the problem load; its slice forks on the
+//! PART/other branch and is unrolled through `i++`.
+
+use crate::util::{random_indices, region, rng_for, word_off};
+use crate::InputSet;
+use preexec_isa::{Program, ProgramBuilder, Reg};
+use rand::Rng;
+
+/// Record layout of `xact[i]`: 4 words per record.
+const XACT_WORDS: u64 = 4;
+const COVER_FULL: u64 = 0;
+const COVER_PART: u64 = 1;
+
+/// Number of transactions (loop iterations).
+pub const N_XACT: i64 = 100;
+
+/// Builds the Figure 1 kernel.
+pub fn build(input: InputSet) -> Program {
+    let mut rng = rng_for("fig1", input);
+    let xact_base = region(0);
+    let rx_base = region(1);
+    // rx table is huge and sparsely indexed so its loads miss.
+    let rx_space: u64 = 1 << 16; // 64K records of 1 word
+    let mut b = ProgramBuilder::new("fig1");
+    let rx_ids = random_indices(&mut rng, N_XACT as usize * 2, rx_space);
+    for i in 0..N_XACT as usize {
+        let roll: f64 = rng.gen();
+        let cover = if roll < 0.2 {
+            COVER_FULL
+        } else if roll < 0.8 {
+            COVER_PART
+        } else {
+            2 // "other"
+        };
+        let base = xact_base + word_off(i as u64 * XACT_WORDS);
+        b.data(base, cover);
+        b.data(base + 8, word_off(rx_ids[2 * i]) * 8); // rxid (scaled: 8-word spacing)
+        b.data(base + 16, word_off(rx_ids[2 * i + 1]) * 8); // g_rxid
+    }
+
+    let (i, n, xact, rx, rec, cover, rxid, receipts) = (
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(4),
+        Reg::new(5),
+        Reg::new(6),
+        Reg::new(7),
+        Reg::new(8),
+    );
+    b.li(i, 0).li(n, N_XACT).li(xact, xact_base as i64).li(rx, rx_base as i64);
+    b.li(receipts, 0);
+    b.label("loop");
+    b.muli(rec, i, (XACT_WORDS * 8) as i64);
+    b.add(rec, rec, xact);
+    b.ld(cover, rec, 0); // xact[i].cover
+    b.beq(cover, Reg::ZERO, "next"); // cover == FULL -> continue
+    b.li(rxid, COVER_PART as i64);
+    b.bne(cover, rxid, "other");
+    b.ld(rxid, rec, 8); // rxid = xact[i].rxid
+    b.jump("use");
+    b.label("other");
+    b.ld(rxid, rec, 16); // rxid = xact[i].g_rxid
+    b.label("use");
+    b.add(rxid, rxid, rx);
+    b.ld(rxid, rxid, 0); // receipts += rx[rxid].price  <- problem load
+    b.add(receipts, receipts, rxid);
+    b.label("next");
+    b.addi(i, i, 1);
+    b.blt(i, n, "loop");
+    b.halt();
+    b.build()
+}
+
+/// PC of the problem load `rx[rxid].price` within the built program.
+pub fn problem_load_pc() -> preexec_isa::Pc {
+    // Counted from the instruction layout above: 5 setup + offset in body.
+    // setup: li,li,li,li,li = PCs 0..4; loop body starts at 5.
+    // 5 muli, 6 add, 7 ld cover, 8 beq, 9 li, 10 bne, 11 ld rxid, 12 jump,
+    // 13 ld g_rxid, 14 add, 15 ld price.
+    15
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_isa::Inst;
+    use preexec_trace::FuncSim;
+
+    #[test]
+    fn runs_to_completion() {
+        let p = build(InputSet::Train);
+        let mut s = FuncSim::new(&p);
+        s.run(100_000);
+        assert!(s.halted());
+    }
+
+    #[test]
+    fn problem_load_pc_is_a_load() {
+        let p = build(InputSet::Train);
+        assert!(matches!(p.inst(problem_load_pc()), Inst::Load { .. }));
+    }
+
+    #[test]
+    fn problem_load_executes_roughly_80_times() {
+        let p = build(InputSet::Train);
+        let t = FuncSim::new(&p).run_trace(1_000_000);
+        let count = t
+            .iter()
+            .filter(|e| e.pc == problem_load_pc())
+            .count();
+        // ~80% of 100 iterations, allow statistical slack.
+        assert!((60..=95).contains(&count), "count = {count}");
+    }
+}

@@ -1,0 +1,130 @@
+//! mcf surrogate: overwhelmingly memory-bound permutation walk with
+//! dependent two-level misses and high memory-level parallelism.
+//!
+//! Character reproduced: mcf's critical path is ~92% memory latency; its
+//! problem-load slices embed *other missing loads* (`perm[i]` misses, and
+//! `arcs[perm[i]]` depends on it), so p-threads are long and expensive and
+//! contemporaneous misses overlap heavily in the ROB. The flat PTHSEL cost
+//! model badly over-estimates the benefit of tolerating each miss
+//! individually (interaction cost) and floods the machine with p-threads,
+//! producing a net slowdown; the criticality-based model prunes them.
+
+use crate::util::{random_indices, region, rng_for, word_off};
+use crate::InputSet;
+use preexec_isa::{Program, ProgramBuilder, Reg};
+
+struct Params {
+    iters: i64,
+    perm_words: u64,
+    arcs_words: u64,
+}
+
+fn params(input: InputSet) -> Params {
+    match input {
+        InputSet::Train => Params {
+            iters: 3000,
+            perm_words: 1 << 18, // 2 MiB
+            arcs_words: 1 << 18, // 2 MiB
+        },
+        // Same geometry as train: the constants are baked into code, and
+        // a binary does not change with its input. The ref input differs
+        // in the perm[] *contents* (different RNG stream).
+        InputSet::Ref => Params {
+            iters: 3000,
+            perm_words: 1 << 18,
+            arcs_words: 1 << 18,
+        },
+    }
+}
+
+/// Builds the mcf surrogate.
+pub fn build(input: InputSet) -> Program {
+    let p = params(input);
+    let mut rng = rng_for("mcf", input);
+    let perm_base = region(0);
+    let arcs_base = region(1);
+    let mut b = ProgramBuilder::new("mcf");
+    // perm[] is itself walked with an arithmetic stride that defeats
+    // spatial locality (prime line-stride), and its *values* point randomly
+    // into arcs[].
+    let arc_targets = random_indices(&mut rng, p.iters as usize, p.arcs_words);
+    // Store the arc target at the perm slot each iteration will read:
+    // slot(i) = (i * 521) mod perm_words (521 * 8B = line-breaking stride).
+    for (i, &tgt) in arc_targets.iter().enumerate() {
+        let slot = (i as u64 * 521) % p.perm_words;
+        b.data(perm_base + word_off(slot), word_off(tgt));
+    }
+
+    let (i, n, pb, ab, s, j, v, cost) = (
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(4),
+        Reg::new(5),
+        Reg::new(6),
+        Reg::new(7),
+        Reg::new(8),
+    );
+    b.li(i, 0).li(n, p.iters);
+    b.li(pb, perm_base as i64).li(ab, arcs_base as i64);
+    b.li(cost, 0);
+    b.label("loop");
+    b.muli(s, i, 521 * 8);
+    b.andi(s, s, (p.perm_words as i64 * 8) - 8); // mod via mask (power of two)
+    b.add(s, s, pb);
+    b.ld(j, s, 0); // j = perm[slot(i)]        <- problem load 1 (misses)
+    b.add(j, j, ab);
+    b.ld(v, j, 0); // v = arcs[j]              <- problem load 2 (dependent miss)
+    b.add(cost, cost, v);
+    b.xor(cost, cost, i);
+    // Only a sliver of ALU work: mcf's critical path is ~92% memory.
+    crate::util::emit_work(&mut b, [v, cost, s], 4);
+    b.addi(i, i, 1);
+    b.blt(i, n, "loop");
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_mem::HierarchyConfig;
+    use preexec_trace::{FuncSim, MemAnnotation, Profile};
+
+    #[test]
+    fn both_loads_are_problems() {
+        let p = build(InputSet::Train);
+        let t = FuncSim::new(&p).run_trace(1_000_000);
+        assert!(t.halted());
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let prof = Profile::compute(&p, &t, &ann);
+        let probs = prof.problem_loads(&p, 200);
+        assert!(probs.len() >= 2, "got {probs:?}");
+        for pl in &probs {
+            assert!(pl.l2_misses as f64 / pl.execs as f64 > 0.5);
+        }
+    }
+
+    #[test]
+    fn dependent_load_sees_first_load_in_its_dataflow() {
+        let p = build(InputSet::Train);
+        let t = FuncSim::new(&p).run_trace(50_000);
+        // Find a dynamic arcs load and confirm a perm load is its
+        // grand-producer through the add.
+        let arcs_pc = p
+            .insts()
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_load())
+            .nth(1)
+            .map(|(pc, _)| pc as u32)
+            .unwrap();
+        let e = t
+            .iter()
+            .find(|e| e.pc == arcs_pc)
+            .expect("arcs load executed");
+        let add = t.event(e.src_deps[0].unwrap());
+        let perm_ld = t.event(add.src_deps[0].unwrap());
+        assert!(perm_ld.inst.is_load(), "slice embeds the perm load");
+    }
+}

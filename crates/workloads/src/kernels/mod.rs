@@ -1,0 +1,14 @@
+//! One module per SPEC2000int-surrogate kernel (plus the Figure 1
+//! didactic example). See each module's header for the memory-behaviour
+//! character it reproduces and why that character matters to p-thread
+//! selection.
+
+pub mod bzip2;
+pub mod fig1;
+pub mod gap;
+pub mod gcc;
+pub mod mcf;
+pub mod parser;
+pub mod twolf;
+pub mod vortex;
+pub mod vpr;

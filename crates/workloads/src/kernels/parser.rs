@@ -1,0 +1,127 @@
+//! parser surrogate: dictionary probing with control divergence between
+//! trigger and problem load.
+//!
+//! Character reproduced: parser's problem loads sit behind data-dependent
+//! branches, so a p-thread spawned at the loop induction sometimes targets
+//! a load the main thread never reaches (an early-out "word already known"
+//! path). This produces useless spawns and caps p-thread usefulness.
+
+use crate::util::{random_indices, region, rng_for, word_off};
+use crate::InputSet;
+use preexec_isa::{Program, ProgramBuilder, Reg};
+
+struct Params {
+    iters: i64,
+    dict_words: u64,
+    /// Out of 8: iterations that take the early-out and skip the load.
+    skip_in_8: u64,
+}
+
+fn params(input: InputSet) -> Params {
+    match input {
+        InputSet::Train => Params {
+            iters: 3000,
+            dict_words: 1 << 16,
+            skip_in_8: 2, // 25% skipped
+        },
+        InputSet::Ref => Params {
+            iters: 3000,
+            dict_words: 1 << 17,
+            skip_in_8: 3,
+        },
+    }
+}
+
+/// Builds the parser surrogate.
+pub fn build(input: InputSet) -> Program {
+    let p = params(input);
+    let mut rng = rng_for("parser", input);
+    let words_base = region(0);
+    let dict_base = region(1);
+    let mut b = ProgramBuilder::new("parser");
+    // words[i]: packed (dict_offset << 3) | skip_flag
+    let idx = random_indices(&mut rng, p.iters as usize, p.dict_words);
+    let skips = random_indices(&mut rng, p.iters as usize, 8);
+    let entries: Vec<u64> = idx
+        .iter()
+        .zip(&skips)
+        .map(|(&w, &s)| (word_off(w) << 3) | u64::from(s < p.skip_in_8))
+        .collect();
+    b.data_slice(words_base, &entries);
+
+    let (i, n, wb, db, e, f, j, v, sum, len) = (
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(4),
+        Reg::new(5),
+        Reg::new(6),
+        Reg::new(7),
+        Reg::new(8),
+        Reg::new(9),
+        Reg::new(10),
+    );
+    b.li(i, 0).li(n, p.iters);
+    b.li(wb, words_base as i64).li(db, dict_base as i64);
+    b.li(sum, 0).li(len, 0);
+    b.label("loop");
+    b.shli(e, i, 3);
+    b.add(e, e, wb);
+    b.ld(e, e, 0); // e = words[i]     (sequential, cheap)
+    b.andi(f, e, 1); // skip flag
+    b.bne(f, Reg::ZERO, "skip"); // early out: word already known
+    b.shri(j, e, 3);
+    b.add(j, j, db);
+    b.ld(v, j, 0); // v = dict[off]    <- problem load (conditional)
+    b.add(sum, sum, v);
+    // Parsing-flavoured work on the fetched entry.
+    b.andi(v, v, 0xff);
+    b.add(len, len, v);
+    crate::util::emit_work(&mut b, [v, len, sum], 20);
+    b.label("skip");
+    b.xor(sum, sum, i);
+    b.addi(i, i, 1);
+    b.blt(i, n, "loop");
+    // Compute-only phase: the non-targeted part of the program, sized to
+    // reproduce this benchmark's memory-bound critical-path fraction.
+    crate::util::emit_compute_phase(&mut b, "parser", 28000);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_mem::HierarchyConfig;
+    use preexec_trace::{FuncSim, MemAnnotation, Profile};
+
+    #[test]
+    fn skip_rate_matches_parameter() {
+        let p = build(InputSet::Train);
+        let t = FuncSim::new(&p).run_trace(1_000_000);
+        assert!(t.halted());
+        let dict_pc = p
+            .insts()
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_load())
+            .nth(1)
+            .map(|(pc, _)| pc as u32)
+            .unwrap();
+        let execs = t.iter().filter(|e| e.pc == dict_pc).count() as f64;
+        let rate = execs / 3000.0;
+        assert!((0.68..=0.82).contains(&rate), "exec rate {rate}");
+    }
+
+    #[test]
+    fn conditional_load_is_the_problem() {
+        let p = build(InputSet::Train);
+        let t = FuncSim::new(&p).run_trace(1_000_000);
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let prof = Profile::compute(&p, &t, &ann);
+        // Threshold above the sequential word-stream's cold misses.
+        let probs = prof.problem_loads(&p, 1000);
+        assert_eq!(probs.len(), 1);
+        assert!(prof.pc_stats(probs[0].pc).l2_miss_rate() > 0.5);
+    }
+}

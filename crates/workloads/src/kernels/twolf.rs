@@ -1,0 +1,146 @@
+//! twolf surrogate: the Figure-1 pattern at scale — a record walk whose
+//! problem-load slice forks on a field-selection branch.
+//!
+//! Character reproduced: twolf's problem loads are reached through a
+//! conditional field selection (`if cover==PART use rxid else g_rxid`), so
+//! good p-threads are *composite*: they pre-execute both possible address
+//! computations. A skip path makes some spawns useless.
+
+use crate::util::{random_indices, region, rng_for, word_off};
+use crate::InputSet;
+use preexec_isa::{Program, ProgramBuilder, Reg};
+use rand::Rng;
+
+struct Params {
+    iters: i64,
+    table_words: u64,
+    skip_pct: f64,
+    part_pct: f64,
+}
+
+fn params(input: InputSet) -> Params {
+    match input {
+        InputSet::Train => Params {
+            iters: 3000,
+            table_words: 1 << 16,
+            skip_pct: 0.20,
+            part_pct: 0.60,
+        },
+        InputSet::Ref => Params {
+            iters: 3000,
+            table_words: 1 << 17,
+            skip_pct: 0.30,
+            part_pct: 0.50,
+        },
+    }
+}
+
+const REC_WORDS: u64 = 4;
+
+/// Builds the twolf surrogate.
+pub fn build(input: InputSet) -> Program {
+    let p = params(input);
+    let mut rng = rng_for("twolf", input);
+    let rec_base = region(0);
+    let tbl_base = region(1);
+    let mut b = ProgramBuilder::new("twolf");
+    for i in 0..p.iters as usize {
+        let roll: f64 = rng.gen();
+        let cover = if roll < p.skip_pct {
+            0
+        } else if roll < p.skip_pct + p.part_pct {
+            1
+        } else {
+            2
+        };
+        let a = rec_base + word_off(i as u64 * REC_WORDS);
+        b.data(a, cover);
+        b.data(a + 8, word_off(rng.gen_range(0..p.table_words)));
+        b.data(a + 16, word_off(rng.gen_range(0..p.table_words)));
+    }
+    // Belt-and-braces: make a handful of table words nonzero so sums vary.
+    for &w in random_indices(&mut rng, 64, p.table_words).iter() {
+        b.data(tbl_base + word_off(w), w);
+    }
+
+    let (i, n, rb, tb, rec, cover, one, j, v, sum) = (
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(4),
+        Reg::new(5),
+        Reg::new(6),
+        Reg::new(7),
+        Reg::new(8),
+        Reg::new(9),
+        Reg::new(10),
+    );
+    b.li(i, 0).li(n, p.iters);
+    b.li(rb, rec_base as i64).li(tb, tbl_base as i64);
+    b.li(one, 1).li(sum, 0);
+    b.label("loop");
+    b.muli(rec, i, (REC_WORDS * 8) as i64);
+    b.add(rec, rec, rb);
+    b.ld(cover, rec, 0); // cover field (sequential records: cheap)
+    b.beq(cover, Reg::ZERO, "next"); // FULL -> skip
+    b.bne(cover, one, "other");
+    b.ld(j, rec, 8); // j = rec.rxid
+    b.jump("use");
+    b.label("other");
+    b.ld(j, rec, 16); // j = rec.g_rxid
+    b.label("use");
+    b.add(j, j, tb);
+    b.ld(v, j, 0); // v = tbl[j]     <- problem load, forked slice
+    b.add(sum, sum, v);
+    // Placement cost arithmetic (wire-length style accumulation).
+    crate::util::emit_work(&mut b, [v, sum, j], 18);
+    b.label("next");
+    b.addi(i, i, 1);
+    b.blt(i, n, "loop");
+    // Compute-only phase: the non-targeted part of the program, sized to
+    // reproduce this benchmark's memory-bound critical-path fraction.
+    crate::util::emit_compute_phase(&mut b, "twolf", 30000);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_mem::HierarchyConfig;
+    use preexec_trace::{FuncSim, MemAnnotation, Profile};
+
+    #[test]
+    fn problem_load_runs_about_80_pct_of_iterations() {
+        let p = build(InputSet::Train);
+        let t = FuncSim::new(&p).run_trace(1_000_000);
+        assert!(t.halted());
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let prof = Profile::compute(&p, &t, &ann);
+        // Threshold above the sequential record-walk's cold misses.
+        let probs = prof.problem_loads(&p, 2000);
+        assert_eq!(probs.len(), 1);
+        let rate = probs[0].execs as f64 / 3000.0;
+        assert!((0.72..=0.88).contains(&rate), "exec rate {rate}");
+    }
+
+    #[test]
+    fn both_field_loads_feed_the_problem_load() {
+        let p = build(InputSet::Train);
+        let t = FuncSim::new(&p).run_trace(1_000_000);
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let prof = Profile::compute(&p, &t, &ann);
+        let tbl_pc = prof.problem_loads(&p, 2000)[0].pc;
+        // Walk producers of the table load's address; over the run both
+        // rxid (offset 8) and g_rxid (offset 16) loads must appear.
+        let mut offsets = std::collections::HashSet::new();
+        for e in t.iter().filter(|e| e.pc == tbl_pc) {
+            let add = t.event(e.src_deps[0].unwrap());
+            let field = t.event(add.src_deps[0].unwrap());
+            if let preexec_isa::Inst::Load { offset, .. } = field.inst {
+                offsets.insert(offset);
+            }
+        }
+        assert!(offsets.contains(&8) && offsets.contains(&16), "{offsets:?}");
+    }
+}

@@ -1,0 +1,137 @@
+//! vortex surrogate: object-database indirection with a two-level table
+//! walk and moderate miss rates.
+//!
+//! Character reproduced: vortex resolves objects through an object table
+//! whose entries point into a large attribute heap. The object table is
+//! L2-resident (its loads miss L1 but usually hit L2), while the attribute
+//! loads miss the L2 part of the time. The memory-bound fraction is
+//! moderate and p-threads are mid-sized.
+
+use crate::util::{random_indices, region, rng_for, word_off};
+use crate::InputSet;
+use preexec_isa::{Program, ProgramBuilder, Reg};
+
+struct Params {
+    iters: i64,
+    objtab_words: u64,
+    heap_words: u64,
+}
+
+fn params(input: InputSet) -> Params {
+    match input {
+        InputSet::Train => Params {
+            iters: 3500,
+            objtab_words: 8 << 10, // 64 KiB: exceeds L1, stays L2-resident
+            heap_words: 1 << 17,   // 1 MiB: partial L2 misses
+        },
+        InputSet::Ref => Params {
+            iters: 3500,
+            objtab_words: 8 << 10,
+            heap_words: 1 << 18,
+        },
+    }
+}
+
+/// Builds the vortex surrogate.
+pub fn build(input: InputSet) -> Program {
+    let p = params(input);
+    let mut rng = rng_for("vortex", input);
+    let objtab_base = region(0);
+    let heap_base = region(1);
+    let mut b = ProgramBuilder::new("vortex");
+    // Object table: maps object id -> heap byte offset. Bit 0 marks
+    // "cached object" entries (~30%) whose attribute fetch is skipped —
+    // spawns for those iterations are useless.
+    let ptrs = random_indices(&mut rng, p.objtab_words as usize, p.heap_words);
+    let cached = random_indices(&mut rng, p.objtab_words as usize, 100);
+    let heap_ptrs: Vec<u64> = ptrs
+        .iter()
+        .zip(&cached)
+        .map(|(&w, &c)| word_off(w) | u64::from(c < 30))
+        .collect();
+    b.data_slice(objtab_base, &heap_ptrs);
+
+    let (i, n, ob, hb, id, j, v, chk, mask) = (
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(4),
+        Reg::new(5),
+        Reg::new(6),
+        Reg::new(7),
+        Reg::new(8),
+        Reg::new(9),
+    );
+    let (q, f2) = (Reg::new(10), Reg::new(11));
+    b.li(i, 0).li(n, p.iters);
+    b.li(ob, objtab_base as i64).li(hb, heap_base as i64);
+    b.li(chk, 0).li(mask, (p.objtab_words as i64 - 1) * 8);
+    b.li(q, 7);
+    b.label("loop");
+    // Transaction-id recurrence woven into the attribute address.
+    b.add(q, q, i);
+    // Object id via a multiplicative scramble of i (touches the table
+    // pseudo-randomly so table loads miss L1 but stay L2-resident).
+    b.muli(id, i, 40503 * 8);
+    b.and(id, id, mask);
+    b.add(id, id, ob);
+    b.ld(j, id, 0); // j = objtab[id]   (L1 miss / L2 hit)
+    b.andi(v, j, 1);
+    b.bne(v, Reg::ZERO, "skip"); // object cached: no attribute fetch
+    b.andi(j, j, !7);
+    b.andi(f2, q, 0x1c0);
+    b.xor(j, j, f2);
+    b.add(j, j, hb);
+    b.ld(v, j, 0); // v = heap[j]      <- problem load (partial misses)
+    b.add(chk, chk, v);
+    b.xor(chk, chk, i);
+    b.shri(v, v, 3);
+    b.add(chk, chk, v);
+    // Object validation/transcription work.
+    crate::util::emit_work(&mut b, [v, chk, id], 24);
+    b.label("skip");
+    b.addi(i, i, 1);
+    b.blt(i, n, "loop");
+    // Compute-only phase: the non-targeted part of the program, sized to
+    // reproduce this benchmark's memory-bound critical-path fraction.
+    crate::util::emit_compute_phase(&mut b, "vortex", 36000);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_mem::HierarchyConfig;
+    use preexec_trace::{FuncSim, MemAnnotation, Profile};
+
+    #[test]
+    fn heap_load_misses_l2_table_load_mostly_does_not() {
+        let p = build(InputSet::Train);
+        let t = FuncSim::new(&p).run_trace(1_000_000);
+        assert!(t.halted());
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let prof = Profile::compute(&p, &t, &ann);
+        let loads: Vec<u32> = p
+            .insts()
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_load())
+            .map(|(pc, _)| pc as u32)
+            .collect();
+        let (tab_pc, heap_pc) = (loads[0], loads[1]);
+        let tab = prof.pc_stats(tab_pc);
+        let heap = prof.pc_stats(heap_pc);
+        assert!(
+            tab.l2_miss_rate() < 0.35,
+            "table L2 miss rate {}",
+            tab.l2_miss_rate()
+        );
+        assert!(tab.l1_miss_rate() > 0.5, "table should miss L1 often");
+        assert!(
+            heap.l2_miss_rate() > 0.4,
+            "heap L2 miss rate {}",
+            heap.l2_miss_rate()
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! vpr surrogates: `vpr.place` (random cell swaps) and `vpr.route`
+//! (net frontier walk with spatial locality after the miss).
+//!
+//! Character reproduced: the two vpr phases behave differently.
+//! `vpr.place` evaluates random cell swaps — two independent random loads
+//! per iteration sharing one trigger, so p-thread *merging* pays off.
+//! `vpr.route` expands route nodes — one miss brings a line whose
+//! neighbouring words are then consumed, so misses are sparser but each is
+//! on the critical path.
+
+use crate::util::{random_indices, region, rng_for, word_off};
+use crate::InputSet;
+use preexec_isa::{Program, ProgramBuilder, Reg};
+
+struct PlaceParams {
+    iters: i64,
+    cells_words: u64,
+}
+
+fn place_params(input: InputSet) -> PlaceParams {
+    match input {
+        InputSet::Train => PlaceParams {
+            iters: 2500,
+            cells_words: 1 << 16, // 512 KiB: roughly half the swaps miss
+        },
+        InputSet::Ref => PlaceParams {
+            iters: 2500,
+            cells_words: 1 << 17,
+        },
+    }
+}
+
+/// Builds the `vpr.place` surrogate.
+pub fn build_place(input: InputSet) -> Program {
+    let p = place_params(input);
+    let mut rng = rng_for("vpr.place", input);
+    let pairs_base = region(0);
+    let cells_base = region(1);
+    let mut b = ProgramBuilder::new("vpr.place");
+    // Swap pair stream: (from, to) word offsets packed in two words.
+    let from = random_indices(&mut rng, p.iters as usize, p.cells_words);
+    let to = random_indices(&mut rng, p.iters as usize, p.cells_words);
+    let aborts = random_indices(&mut rng, p.iters as usize, 100);
+    let mut packed = Vec::with_capacity(p.iters as usize * 2);
+    for k in 0..p.iters as usize {
+        // Bit 0 marks aborted swaps (~30%): both cell loads are skipped.
+        packed.push(word_off(from[k]) | u64::from(aborts[k] < 30));
+        packed.push(word_off(to[k]));
+    }
+    b.data_slice(pairs_base, &packed);
+
+    let (i, n, pb, cb, a1, a2, x, y, delta) = (
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(4),
+        Reg::new(5),
+        Reg::new(6),
+        Reg::new(7),
+        Reg::new(8),
+        Reg::new(9),
+    );
+    let (q, f2) = (Reg::new(10), Reg::new(11));
+    b.li(i, 0).li(n, p.iters);
+    b.li(pb, pairs_base as i64).li(cb, cells_base as i64);
+    b.li(delta, 0).li(q, 5);
+    b.label("loop");
+    // Annealing-temperature recurrence woven into the cell addresses.
+    b.add(q, q, i);
+    b.shli(a1, i, 4); // 2 words per pair
+    b.add(a1, a1, pb);
+    b.ld(a2, a1, 8); // to offset   (sequential: cheap)
+    b.ld(a1, a1, 0); // from offset (sequential: cheap)
+    b.andi(x, a1, 1);
+    b.bne(x, Reg::ZERO, "skip"); // aborted swap
+    b.andi(f2, q, 0x3c0);
+    b.xor(a1, a1, f2);
+    b.xor(a2, a2, f2);
+    b.add(a1, a1, cb);
+    b.add(a2, a2, cb);
+    b.ld(x, a1, 0); // x = cells[from]  <- problem load A
+    b.ld(y, a2, 0); // y = cells[to]    <- problem load B (same trigger)
+    b.sub(x, x, y);
+    b.add(delta, delta, x);
+    b.xor(delta, delta, i);
+    // Swap-cost evaluation work (bounding-box arithmetic).
+    crate::util::emit_work(&mut b, [x, y, delta], 16);
+    b.label("skip");
+    b.addi(i, i, 1);
+    b.blt(i, n, "loop");
+    // Non-targeted placement bookkeeping.
+    crate::util::emit_compute_phase(&mut b, "place", 22000);
+    b.halt();
+    b.build()
+}
+
+struct RouteParams {
+    iters: i64,
+    nodes_words: u64,
+}
+
+fn route_params(input: InputSet) -> RouteParams {
+    match input {
+        InputSet::Train => RouteParams {
+            iters: 2500,
+            nodes_words: 1 << 18, // 2 MiB
+        },
+        InputSet::Ref => RouteParams {
+            iters: 2500,
+            nodes_words: 1 << 17,
+        },
+    }
+}
+
+/// Builds the `vpr.route` surrogate.
+pub fn build_route(input: InputSet) -> Program {
+    let p = route_params(input);
+    let mut rng = rng_for("vpr.route", input);
+    let heap_base = region(0);
+    let nodes_base = region(1);
+    let mut b = ProgramBuilder::new("vpr.route");
+    // Heap stream: node word-offsets, line-aligned so the 3 neighbour
+    // words of each expansion land on the same line as the miss.
+    let picks = random_indices(&mut rng, p.iters as usize, p.nodes_words / 8);
+    let pruned = random_indices(&mut rng, p.iters as usize, 100);
+    let offsets: Vec<u64> = picks
+        .iter()
+        .zip(&pruned)
+        .map(|(&w, &s)| word_off(w * 8) | u64::from(s < 20))
+        .collect();
+    b.data_slice(heap_base, &offsets);
+
+    let (i, n, hb, nb, node, v, w, cost) = (
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(4),
+        Reg::new(5),
+        Reg::new(6),
+        Reg::new(7),
+        Reg::new(8),
+    );
+    let (q, f2) = (Reg::new(10), Reg::new(11));
+    b.li(i, 0).li(n, p.iters);
+    b.li(hb, heap_base as i64).li(nb, nodes_base as i64);
+    b.li(cost, 0).li(q, 11);
+    b.label("loop");
+    // Congestion-estimate recurrence woven into the node address.
+    b.add(q, q, i);
+    b.shli(node, i, 3);
+    b.add(node, node, hb);
+    b.ld(node, node, 0); // node = heap[i]   (sequential: cheap)
+    b.andi(v, node, 1);
+    b.bne(v, Reg::ZERO, "skip"); // pruned frontier node
+    b.andi(node, node, !7);
+    b.andi(f2, q, 0x3c00);
+    b.xor(node, node, f2); // stays line-aligned: bits 10+ only
+    b.add(node, node, nb);
+    b.ld(v, node, 0); // v = nodes[node].cost   <- problem load
+    b.ld(w, node, 8); // neighbour words: same line, free after the miss
+    b.add(v, v, w);
+    b.ld(w, node, 16);
+    b.add(v, v, w);
+    b.ld(w, node, 24);
+    b.add(v, v, w);
+    b.add(cost, cost, v);
+    b.xor(cost, cost, i);
+    // Route-cost comparison work.
+    crate::util::emit_work(&mut b, [v, w, cost], 12);
+    b.label("skip");
+    b.addi(i, i, 1);
+    b.blt(i, n, "loop");
+    // Non-targeted route bookkeeping.
+    crate::util::emit_compute_phase(&mut b, "route", 6000);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_mem::HierarchyConfig;
+    use preexec_trace::{FuncSim, MemAnnotation, Profile};
+
+    #[test]
+    fn place_has_two_problem_loads_with_common_trigger() {
+        let p = build_place(InputSet::Train);
+        let t = FuncSim::new(&p).run_trace(1_000_000);
+        assert!(t.halted());
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let prof = Profile::compute(&p, &t, &ann);
+        let probs = prof.problem_loads(&p, 100);
+        assert!(probs.len() >= 2, "place needs two problem loads: {probs:?}");
+    }
+
+    #[test]
+    fn route_neighbour_loads_ride_the_missed_line() {
+        let p = build_route(InputSet::Train);
+        let t = FuncSim::new(&p).run_trace(1_000_000);
+        assert!(t.halted());
+        let ann = MemAnnotation::compute(&t, HierarchyConfig::default());
+        let prof = Profile::compute(&p, &t, &ann);
+        // Threshold above the sequential heap-stream's cold misses.
+        let probs = prof.problem_loads(&p, 1000);
+        // Exactly one dominant problem load; the neighbour loads hit the
+        // line it brought in.
+        assert_eq!(probs.len(), 1, "{probs:?}");
+        let loads: Vec<u32> = p
+            .insts()
+            .iter()
+            .enumerate()
+            .filter(|(_, ins)| ins.is_load())
+            .map(|(pc, _)| pc as u32)
+            .collect();
+        // loads[1] is the problem load; loads[2..] are neighbours.
+        assert_eq!(probs[0].pc, loads[1]);
+        for &nbr in &loads[2..] {
+            assert!(prof.pc_stats(nbr).l2_miss_rate() < 0.05);
+        }
+    }
+}

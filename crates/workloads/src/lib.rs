@@ -1,0 +1,136 @@
+//! # preexec-workloads
+//!
+//! Synthetic surrogates for the SPEC2000 integer benchmarks the paper
+//! evaluates (those that suffer L2 misses): `bzip2`, `gap`, `gcc`, `mcf`,
+//! `parser`, `twolf`, `vortex`, `vpr.place`, and `vpr.route`, plus the
+//! paper's Figure 1 didactic loop.
+//!
+//! The real benchmarks (and the Alpha binaries the paper compiled) are not
+//! available, so each surrogate is a small kernel written in the
+//! `preexec-isa` ISA whose *problem-load structure* matches the character
+//! the paper reports for that benchmark: slice depth, induction unrolling
+//! opportunity, control divergence between trigger and load, embedded-load
+//! misses, miss clustering, and memory-bound fraction. Pre-execution's
+//! optimization landscape — which p-threads are worth selecting and what
+//! they cost — is determined by exactly these properties.
+//!
+//! Each kernel has a [`InputSet::Train`] and a [`InputSet::Ref`]
+//! parameterization (different data and, where the paper calls for it,
+//! different memory criticality) for the Figure 4 profiling-robustness
+//! study.
+//!
+//! # Examples
+//!
+//! ```
+//! use preexec_workloads::{build, InputSet, NAMES};
+//! assert_eq!(NAMES.len(), 9);
+//! let program = build("mcf", InputSet::Train).unwrap();
+//! assert_eq!(program.name(), "mcf");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod kernels;
+mod util;
+
+use preexec_isa::Program;
+
+/// Which input parameterization to build: the paper profiles on `train`
+/// and checks robustness with `ref`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum InputSet {
+    /// The input used for the primary study ("ideal profiling").
+    #[default]
+    Train,
+    /// The alternate input for the Figure 4 robustness study.
+    Ref,
+}
+
+impl std::fmt::Display for InputSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InputSet::Train => write!(f, "train"),
+            InputSet::Ref => write!(f, "ref"),
+        }
+    }
+}
+
+/// Names of the nine benchmark surrogates, in the paper's figure order.
+pub const NAMES: [&str; 9] = [
+    "bzip2",
+    "gap",
+    "gcc",
+    "mcf",
+    "parser",
+    "twolf",
+    "vortex",
+    "vpr.place",
+    "vpr.route",
+];
+
+/// Builds the named benchmark surrogate, or `None` for an unknown name.
+///
+/// Known names are those in [`NAMES`] plus `"fig1"` (the paper's worked
+/// example).
+pub fn build(name: &str, input: InputSet) -> Option<Program> {
+    Some(match name {
+        "bzip2" => kernels::bzip2::build(input),
+        "gap" => kernels::gap::build(input),
+        "gcc" => kernels::gcc::build(input),
+        "mcf" => kernels::mcf::build(input),
+        "parser" => kernels::parser::build(input),
+        "twolf" => kernels::twolf::build(input),
+        "vortex" => kernels::vortex::build(input),
+        "vpr.place" => kernels::vpr::build_place(input),
+        "vpr.route" => kernels::vpr::build_route(input),
+        "fig1" => kernels::fig1::build(input),
+        _ => return None,
+    })
+}
+
+/// Builds every benchmark surrogate (excluding `fig1`) for `input`.
+pub fn build_all(input: InputSet) -> Vec<Program> {
+    NAMES
+        .iter()
+        .map(|n| build(n, input).expect("registry names are buildable"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_every_name() {
+        for name in NAMES {
+            let p = build(name, InputSet::Train).unwrap();
+            assert_eq!(p.name(), name);
+            assert!(!p.is_empty());
+        }
+        assert!(build("fig1", InputSet::Ref).is_some());
+        assert!(build("nonesuch", InputSet::Train).is_none());
+    }
+
+    #[test]
+    fn build_all_returns_nine() {
+        assert_eq!(build_all(InputSet::Train).len(), 9);
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = build("twolf", InputSet::Train).unwrap();
+        let b = build("twolf", InputSet::Train).unwrap();
+        assert_eq!(a.insts(), b.insts());
+        assert_eq!(
+            a.image().iter().collect::<Vec<_>>(),
+            b.image().iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn input_set_display() {
+        assert_eq!(InputSet::Train.to_string(), "train");
+        assert_eq!(InputSet::Ref.to_string(), "ref");
+    }
+}

@@ -1,0 +1,179 @@
+//! Shared helpers for kernel construction.
+
+use crate::InputSet;
+use preexec_isa::WORD_BYTES;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Base address of the first data region each kernel lays out. Regions are
+/// spaced far apart so kernels never alias.
+pub const REGION_BASE: u64 = 0x0010_0000;
+
+/// Spacing between data regions (16 MiB).
+pub const REGION_STRIDE: u64 = 0x0100_0000;
+
+/// Returns the base address of region `n`.
+pub fn region(n: u64) -> u64 {
+    REGION_BASE + n * REGION_STRIDE
+}
+
+/// Deterministic RNG for a `(kernel, input)` pair. Train and ref inputs use
+/// unrelated streams so the Figure 4 robustness study sees genuinely
+/// different (but reproducible) data.
+pub fn rng_for(kernel: &str, input: InputSet) -> StdRng {
+    let mut seed = [0u8; 32];
+    let tag: u64 = match input {
+        InputSet::Train => 0x7261_696e,
+        InputSet::Ref => 0x5f72_6566,
+    };
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ tag;
+    for b in kernel.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    for (i, chunk) in seed.chunks_mut(8).enumerate() {
+        let v = h.wrapping_mul(i as u64 + 1).rotate_left(i as u32 * 7 + 1);
+        chunk.copy_from_slice(&v.to_le_bytes());
+    }
+    StdRng::from_seed(seed)
+}
+
+/// `n` random word indices in `[0, space)`.
+pub fn random_indices(rng: &mut StdRng, n: usize, space: u64) -> Vec<u64> {
+    (0..n).map(|_| rng.gen_range(0..space)).collect()
+}
+
+/// Byte offset of word index `w`.
+pub fn word_off(w: u64) -> u64 {
+    w * WORD_BYTES
+}
+
+/// Emits `n` ALU instructions of benchmark-flavoured integer work over the
+/// three scratch registers, deliberately disjoint from any problem-load
+/// slice. The mix (mostly 1-cycle ops, an occasional multiply, a serial
+/// spine with some parallel side-chains) is chosen so an out-of-order core
+/// sustains a realistic non-memory IPC on it.
+pub fn emit_work(b: &mut preexec_isa::ProgramBuilder, scratch: [preexec_isa::Reg; 3], n: usize) {
+    let [x, y, z] = scratch;
+    for k in 0..n {
+        match k % 8 {
+            0 => b.addi(x, x, 7),
+            1 => b.xor(y, y, x),
+            2 => b.shri(z, x, 3),
+            3 => b.add(y, y, z),
+            4 => b.andi(z, y, 0xffff),
+            5 => b.muli(x, x, 17),
+            6 => b.add(x, x, y),
+            _ => b.addi(z, z, 1),
+        };
+    }
+}
+
+/// Emits a compute-only phase: a perfectly-predictable loop of integer
+/// work over an L1-resident working set, running `iters` iterations of
+/// ~16 instructions each.
+///
+/// Real SPEC programs spend much of their time in regions without problem
+/// loads; pre-execution neither helps nor hurts there. Each kernel appends
+/// a phase sized to reproduce its benchmark's memory-bound fraction of the
+/// critical path (paper Figure 2).
+///
+/// Uses registers r24–r27 only, so it cannot perturb kernel state or
+/// problem-load slices.
+pub fn emit_compute_phase(b: &mut preexec_isa::ProgramBuilder, tag: &str, iters: i64) {
+    use preexec_isa::Reg;
+    if iters <= 0 {
+        return;
+    }
+    let (cnt, lim, x, y) = (Reg::new(24), Reg::new(25), Reg::new(26), Reg::new(27));
+    let label = format!("__compute_{tag}");
+    b.li(cnt, 0).li(lim, iters);
+    b.label(label.clone());
+    b.addi(x, x, 3);
+    b.muli(y, y, 13);
+    b.xor(y, y, x);
+    b.shri(x, y, 2);
+    b.add(x, x, cnt);
+    b.andi(y, y, 0xfffff);
+    b.add(y, y, x);
+    b.addi(x, x, 1);
+    b.xor(x, x, y);
+    b.shri(y, x, 1);
+    b.add(y, y, cnt);
+    b.andi(x, x, 0x7ffff);
+    b.add(x, x, y);
+    b.addi(cnt, cnt, 1);
+    b.blt(cnt, lim, label);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_pair() {
+        let a: Vec<u64> = random_indices(&mut rng_for("mcf", InputSet::Train), 8, 1000);
+        let b: Vec<u64> = random_indices(&mut rng_for("mcf", InputSet::Train), 8, 1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn train_and_ref_streams_differ() {
+        let a: Vec<u64> = random_indices(&mut rng_for("mcf", InputSet::Train), 8, 1_000_000);
+        let b: Vec<u64> = random_indices(&mut rng_for("mcf", InputSet::Ref), 8, 1_000_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn kernels_get_distinct_streams() {
+        let a: Vec<u64> = random_indices(&mut rng_for("mcf", InputSet::Train), 8, 1_000_000);
+        let b: Vec<u64> = random_indices(&mut rng_for("gcc", InputSet::Train), 8, 1_000_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        assert!(region(1) - region(0) >= REGION_STRIDE);
+        assert!(region(0) >= REGION_BASE);
+    }
+
+    #[test]
+    fn emit_work_emits_exactly_n_instructions() {
+        use preexec_isa::{ProgramBuilder, Reg};
+        for n in [0usize, 1, 7, 24] {
+            let mut b = ProgramBuilder::new("w");
+            emit_work(&mut b, [Reg::new(1), Reg::new(2), Reg::new(3)], n);
+            b.halt();
+            assert_eq!(b.build().len(), n + 1);
+        }
+    }
+
+    #[test]
+    fn compute_phase_loop_runs_requested_iterations() {
+        use preexec_isa::{ProgramBuilder, Reg};
+        use preexec_trace::FuncSim;
+        let mut b = ProgramBuilder::new("p");
+        emit_compute_phase(&mut b, "t", 25);
+        b.halt();
+        let prog = b.build();
+        let mut s = FuncSim::new(&prog);
+        s.run(10_000);
+        assert!(s.halted());
+        assert_eq!(s.reg(Reg::new(24)), 25); // the loop counter
+    }
+
+    #[test]
+    fn compute_phase_zero_iterations_is_empty() {
+        use preexec_isa::ProgramBuilder;
+        let mut b = ProgramBuilder::new("p");
+        emit_compute_phase(&mut b, "t", 0);
+        b.halt();
+        assert_eq!(b.build().len(), 1);
+    }
+
+    #[test]
+    fn indices_respect_space() {
+        let idx = random_indices(&mut rng_for("x", InputSet::Train), 1000, 64);
+        assert!(idx.iter().all(|&i| i < 64));
+    }
+}

@@ -1,0 +1,43 @@
+//! The idle-energy-factor lever (paper §3 and Figure 5 top): how the
+//! fraction of per-cycle energy that clock gating cannot remove decides
+//! whether pre-execution can be an *energy reduction* tool.
+//!
+//! Run with: `cargo run --release --example idle_energy [benchmark]`
+//! (default benchmark: vortex)
+
+use preexec::harness::{ExpConfig, Prepared};
+use preexec::pthsel::SelectionTarget;
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "vortex".into());
+    println!("idle-energy sweep on {bench}:\n");
+    println!(
+        "{:<6} {:<4} {:>8} {:>9} {:>8} {:>10}",
+        "idle", "tgt", "%IPC", "%energy", "%ED", "p-threads"
+    );
+    for idle in [0.0, 0.05, 0.10] {
+        let mut cfg = ExpConfig::default();
+        cfg.energy = cfg.energy.with_idle_factor(idle);
+        let prep = Prepared::build(&bench, &cfg);
+        for target in [
+            SelectionTarget::Latency,
+            SelectionTarget::Energy,
+            SelectionTarget::Ed,
+        ] {
+            let r = prep.evaluate(target);
+            println!(
+                "{:<6} {:<4} {:>7.1}% {:>8.1}% {:>7.1}% {:>10}",
+                format!("{:.0}%", idle * 100.0),
+                target.label(),
+                r.latency_gain_pct(&prep.baseline),
+                r.energy_save_pct(&prep.baseline, &cfg.energy),
+                r.ed_save_pct(&prep.baseline, &cfg.energy),
+                r.selection.pthreads.len(),
+            );
+        }
+    }
+    println!(
+        "\nAt 0% idle energy no E-p-threads can exist (every EADVagg is\n\
+         negative); at 10% pre-execution starts reducing total energy."
+    );
+}

@@ -1,0 +1,50 @@
+//! Retargeting PTHSEL+E: select p-threads for latency, energy, ED, and
+//! ED² on one benchmark and compare the resulting latency/energy
+//! trade-offs (the heart of the paper).
+//!
+//! Run with: `cargo run --release --example retarget [benchmark]`
+//! (default benchmark: twolf)
+
+use preexec::harness::{ExpConfig, Prepared};
+use preexec::pthsel::SelectionTarget;
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "twolf".into());
+    let cfg = ExpConfig::default();
+    println!("preparing {bench} (trace, profile, slices, critical path, baseline)...");
+    let prep = Prepared::build(&bench, &cfg);
+    println!(
+        "baseline: {} cycles, {} L2 misses, IPC {:.2}\n",
+        prep.baseline.cycles,
+        prep.baseline.l2_misses_demand,
+        prep.baseline.ipc()
+    );
+    println!(
+        "{:<8} {:>8} {:>9} {:>8} {:>8} {:>10} {:>9}",
+        "target", "%IPC", "%energy", "%ED", "%ED2", "p-threads", "p-insts"
+    );
+    for target in [
+        SelectionTarget::Classic,
+        SelectionTarget::Latency,
+        SelectionTarget::Energy,
+        SelectionTarget::Ed,
+        SelectionTarget::Ed2,
+    ] {
+        let r = prep.evaluate(target);
+        println!(
+            "{:<8} {:>7.1}% {:>8.1}% {:>7.1}% {:>7.1}% {:>10} {:>9}",
+            target.label(),
+            r.latency_gain_pct(&prep.baseline),
+            r.energy_save_pct(&prep.baseline, &cfg.energy),
+            r.ed_save_pct(&prep.baseline, &cfg.energy),
+            r.ed2_save_pct(&prep.baseline, &cfg.energy),
+            r.selection.pthreads.len(),
+            r.report.pinsts,
+        );
+    }
+    println!(
+        "\nReading the table: L maximizes speedup, E trades speedup for\n\
+         energy neutrality, P (ED) balances both, and the classic O\n\
+         selection spends the most energy for its speedup."
+    );
+}

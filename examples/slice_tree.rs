@@ -1,0 +1,87 @@
+//! The paper's Figure 1 walked end to end: slice-tree construction (1b),
+//! linear p-thread extraction (1c), induction collapsing (1d), and
+//! composite merging (1e) on the `xact`/`rx` loop.
+//!
+//! Run with: `cargo run --release --example slice_tree`
+
+use preexec::mem::HierarchyConfig;
+use preexec::slicer::{collapse_inductions, merge_bodies, SliceConfig, SliceTree};
+use preexec::trace::{FuncSim, MemAnnotation, Profile};
+use preexec::workloads::kernels::fig1;
+use preexec::workloads::InputSet;
+
+fn main() {
+    let program = fig1::build(InputSet::Train);
+    println!("source loop ({} static instructions):", program.len());
+    print!("{program}");
+
+    let trace = FuncSim::new(&program).run_trace(100_000);
+    let ann = MemAnnotation::compute(&trace, HierarchyConfig::default());
+    let profile = Profile::compute(&program, &trace, &ann);
+    let root = fig1::problem_load_pc();
+    println!(
+        "\nproblem load: pc {} ({} executions, {} L2 misses)",
+        root,
+        profile.pc_stats(root).execs,
+        profile.pc_stats(root).l2_misses
+    );
+
+    // (b) the static slice tree with DCptcm / DCtrig annotations.
+    let tree = SliceTree::build(&program, &trace, &ann, &profile, root, &SliceConfig::default());
+    println!("\nslice tree (Figure 1b): {} nodes, {} sliced misses", tree.len(), tree.total_misses());
+    for n in tree.iter_preorder().take(16) {
+        println!(
+            "  {:indent$}pc {:3} {:<22} DCptcm {:4}  DCtrig {:4}{}",
+            "",
+            n.pc,
+            n.inst.to_string(),
+            n.dc_ptcm,
+            n.dc_trig,
+            if n.children.len() > 1 { "  <- fork" } else { "" },
+            indent = n.depth as usize
+        );
+    }
+
+    // (c) two unoptimized linear p-threads: pick a deep node in each
+    // subtree under the fork.
+    let fork = tree
+        .iter_preorder()
+        .find(|n| n.children.len() >= 2)
+        .expect("figure 1's tree forks on the field-selection branch");
+    let mut linear = Vec::new();
+    for &child in fork.children.iter().take(2) {
+        // Descend to a deep node in this subtree.
+        let mut cur = child;
+        while let Some(&c) = tree.node(cur).children.first() {
+            if tree.node(c).dc_ptcm < 5 {
+                break;
+            }
+            cur = c;
+        }
+        linear.push(tree.body(cur));
+    }
+    println!("\nunoptimized linear p-threads (Figure 1c):");
+    for (k, body) in linear.iter().enumerate() {
+        println!("  p-thread {k}:");
+        for inst in body {
+            println!("    {inst}");
+        }
+    }
+
+    // (d) induction collapsing.
+    let optimized: Vec<_> = linear.iter().map(|b| collapse_inductions(b)).collect();
+    println!("\noptimized linear p-threads (Figure 1d):");
+    for (k, body) in optimized.iter().enumerate() {
+        println!("  p-thread {k}: {} -> {} insts", linear[k].len(), body.len());
+        for inst in body {
+            println!("    {inst}");
+        }
+    }
+
+    // (e) composite merge.
+    let composite = merge_bodies(&optimized);
+    println!("\nmerged composite p-thread (Figure 1e), {} insts:", composite.len());
+    for inst in &composite {
+        println!("    {inst}");
+    }
+}

@@ -1,0 +1,44 @@
+//! # preexec
+//!
+//! A full reproduction of *"Energy-Effectiveness of Pre-Execution and
+//! Energy-Aware P-Thread Selection"* (Petric & Roth, ISCA 2005) as a Rust
+//! workspace: the PTHSEL / PTHSEL+E selection frameworks plus every
+//! substrate they need — ISA, functional simulator & tracing, memory
+//! hierarchy, branch predictor, backward slicer, critical-path analyzer,
+//! Wattch-style energy accounting, a cycle-level multithreaded OoO timing
+//! simulator with DDMT pre-execution, SPEC2000int-surrogate workloads, and
+//! an experiment harness that regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! This facade crate re-exports each subsystem under a short module name.
+//! See `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! # Quick start
+//!
+//! ```
+//! use preexec::harness::{ExpConfig, Prepared};
+//! use preexec::pthsel::SelectionTarget;
+//!
+//! // Analyze one benchmark end to end and evaluate energy-aware p-threads.
+//! let prep = Prepared::build("gap", &ExpConfig::default());
+//! let result = prep.evaluate(SelectionTarget::Ed);
+//! let speedup = prep.baseline.cycles as f64 / result.report.cycles as f64;
+//! assert!(speedup > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use preexec_bpred as bpred;
+pub use preexec_critpath as critpath;
+pub use preexec_energy as energy;
+pub use preexec_harness as harness;
+pub use preexec_isa as isa;
+pub use preexec_mem as mem;
+pub use preexec_sim as sim;
+pub use preexec_slicer as slicer;
+pub use preexec_trace as trace;
+pub use preexec_workloads as workloads;
+/// The paper's primary contribution: the selection frameworks.
+pub use pthsel;

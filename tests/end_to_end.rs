@@ -1,0 +1,198 @@
+//! Integration tests spanning the whole stack: workload → trace →
+//! profile → slice → critical path → selection → timing simulation.
+
+use preexec::harness::{ExpConfig, Prepared};
+use preexec::pthsel::SelectionTarget;
+use preexec::sim::{SimConfig, Simulator};
+use preexec::trace::FuncSim;
+use preexec::workloads::{build, InputSet};
+
+/// The timing simulator must retire exactly the architectural execution
+/// the functional simulator defines, for every workload.
+#[test]
+fn timing_simulator_matches_functional_architecture() {
+    for name in preexec::workloads::NAMES {
+        let program = build(name, InputSet::Train).unwrap();
+        let mut fsim = FuncSim::new(&program);
+        fsim.run(5_000_000);
+        assert!(fsim.halted(), "{name} must halt");
+        let mut tsim = Simulator::new(&program, SimConfig::default());
+        let rep = tsim.run();
+        assert!(rep.finished, "{name} timing run must finish");
+        assert_eq!(rep.committed, fsim.retired(), "{name} retired count");
+        assert_eq!(tsim.spec_regs(), fsim.reg_file(), "{name} final registers");
+    }
+}
+
+/// Pre-execution must never change architectural results, only timing.
+#[test]
+fn pre_execution_preserves_architecture() {
+    for name in ["gap", "twolf", "mcf"] {
+        let cfg = ExpConfig::default();
+        let prep = Prepared::build(name, &cfg);
+        let sel = prep.select(SelectionTarget::Latency);
+        let program = build(name, InputSet::Train).unwrap();
+        let mut fsim = FuncSim::new(&program);
+        fsim.run(5_000_000);
+        let mut tsim = Simulator::new(&program, cfg.sim).with_pthreads(&sel.pthreads);
+        let rep = tsim.run();
+        assert!(rep.finished);
+        assert_eq!(rep.committed, fsim.retired(), "{name} committed");
+        assert_eq!(tsim.spec_regs(), fsim.reg_file(), "{name} registers");
+    }
+}
+
+/// Metric robustness (§5.1): within PTHSEL+E, each target optimizes its
+/// own metric — L-p-threads give the best latency and E-p-threads the
+/// best energy.
+#[test]
+fn metric_robustness_latency_vs_energy() {
+    let cfg = ExpConfig::default();
+    for name in ["twolf", "vortex", "vpr.route"] {
+        let prep = Prepared::build(name, &cfg);
+        let l = prep.evaluate(SelectionTarget::Latency);
+        let e = prep.evaluate(SelectionTarget::Energy);
+        assert!(
+            l.latency_gain_pct(&prep.baseline) >= e.latency_gain_pct(&prep.baseline) - 0.5,
+            "{name}: L must not lose to E on latency"
+        );
+        assert!(
+            e.energy_save_pct(&prep.baseline, &cfg.energy)
+                >= l.energy_save_pct(&prep.baseline, &cfg.energy) - 0.5,
+            "{name}: E must not lose to L on energy"
+        );
+    }
+}
+
+/// Pre-execution driven by latency-oriented selection speeds up every
+/// benchmark that has selectable p-threads.
+#[test]
+fn latency_pthreads_speed_up_the_suite() {
+    let cfg = ExpConfig::default();
+    for name in preexec::workloads::NAMES {
+        let prep = Prepared::build(name, &cfg);
+        let r = prep.evaluate(SelectionTarget::Latency);
+        if r.selection.pthreads.is_empty() {
+            continue;
+        }
+        let gain = r.latency_gain_pct(&prep.baseline);
+        assert!(gain > -2.0, "{name}: L-p-threads badly hurt ({gain:.1}%)");
+    }
+}
+
+/// The Figure 5 zero-idle-energy result: no benchmark gets E-p-threads
+/// when idle energy is zero.
+#[test]
+fn zero_idle_energy_selects_no_e_pthreads() {
+    let mut cfg = ExpConfig::default();
+    cfg.energy = cfg.energy.with_idle_factor(0.0);
+    for name in ["gap", "mcf", "twolf"] {
+        let prep = Prepared::build(name, &cfg);
+        let sel = prep.select(SelectionTarget::Energy);
+        assert!(
+            sel.pthreads.is_empty(),
+            "{name}: E-selection must be empty at 0% idle energy"
+        );
+    }
+}
+
+/// Selected p-threads respect the DDMT restrictions: control-less,
+/// store-less bodies within the slicing length cap, ending in a load.
+#[test]
+fn selected_pthreads_respect_ddmt_restrictions() {
+    let cfg = ExpConfig::default();
+    for name in preexec::workloads::NAMES {
+        let prep = Prepared::build(name, &cfg);
+        for target in [SelectionTarget::Classic, SelectionTarget::Latency, SelectionTarget::Ed] {
+            let sel = prep.select(target);
+            for p in &sel.pthreads {
+                assert!(!p.body.is_empty());
+                assert!(
+                    p.body.iter().all(|i| i.is_pthread_eligible()),
+                    "{name}/{target}: body must be control-less and store-less"
+                );
+                assert!(p.body.last().unwrap().is_load());
+                assert!(p.body.len() <= 2 * cfg.slice.max_body, "{name} body too long");
+                assert!(!p.targets.is_empty());
+            }
+        }
+    }
+}
+
+/// Train and ref inputs must share code exactly (a binary does not change
+/// with its input) so that cross-input profiling is meaningful.
+#[test]
+fn train_and_ref_share_code() {
+    for name in preexec::workloads::NAMES {
+        let train = build(name, InputSet::Train).unwrap();
+        let reference = build(name, InputSet::Ref).unwrap();
+        assert_eq!(train.insts(), reference.insts(), "{name} code must not vary");
+    }
+}
+
+/// The whole analysis pipeline is deterministic.
+#[test]
+fn pipeline_is_deterministic() {
+    let cfg = ExpConfig::default();
+    let a = Prepared::build("parser", &cfg);
+    let b = Prepared::build("parser", &cfg);
+    assert_eq!(a.baseline.cycles, b.baseline.cycles);
+    let sa = a.select(SelectionTarget::Ed);
+    let sb = b.select(SelectionTarget::Ed);
+    assert_eq!(sa.pthreads.len(), sb.pthreads.len());
+    let ra = a.run_with(&sa);
+    let rb = b.run_with(&sb);
+    assert_eq!(ra.cycles, rb.cycles);
+    assert_eq!(ra.pinsts, rb.pinsts);
+}
+
+/// The §7 branch pre-execution extension: hints must be accurate
+/// (instance-aligned), mispredictions must drop dramatically, and energy
+/// must be saved at the busy rate (removed cycles held wrong-path work).
+#[test]
+fn branch_pre_execution_eliminates_mispredictions() {
+    use preexec::harness::experiments::branch;
+    let cfg = ExpConfig::default();
+    for name in ["bzip2", "parser", "vpr.place"] {
+        let row = branch::run_for(name, &cfg, SelectionTarget::Latency);
+        assert!(row.pthreads > 0, "{name}: branch p-threads selected");
+        assert!(
+            row.hint_accuracy > 0.95,
+            "{name}: aligned hints must be accurate, got {:.0}%",
+            row.hint_accuracy * 100.0
+        );
+        assert!(
+            (row.opt_mispredicts as f64) < 0.2 * row.base_mispredicts as f64,
+            "{name}: mispredictions must collapse: {} -> {}",
+            row.base_mispredicts,
+            row.opt_mispredicts
+        );
+        assert!(row.ipc_gain > 0.0, "{name}: must speed up");
+        assert!(
+            row.energy_save > 0.0,
+            "{name}: busy-rate savings must show: {:.1}%",
+            row.energy_save
+        );
+    }
+}
+
+/// The paper notes pre-execution needs few extra physical registers even
+/// with 8 contexts. Our gauge (un-issued p-instructions holding a rename
+/// register) is a conservative upper bound: it is capped by the shared
+/// reservation-station pool and must never exceed it, and the 384-entry
+/// register file (128 in-flight + architectural state) always has
+/// headroom for it.
+#[test]
+fn pthread_register_footprint_is_bounded() {
+    let cfg = ExpConfig::default();
+    for name in ["bzip2", "mcf", "twolf"] {
+        let prep = Prepared::build(name, &cfg);
+        let r = prep.evaluate(SelectionTarget::Latency);
+        assert!(
+            r.report.max_pthread_pregs <= cfg.sim.rs_size as u64,
+            "{name}: gauge {} cannot exceed the RS pool",
+            r.report.max_pthread_pregs
+        );
+        assert!(r.report.max_pthread_pregs > 0, "{name}: gauge must move");
+    }
+}
