@@ -7,8 +7,7 @@
 //!    spawns included) vs commit-time (non-speculative, less lookahead).
 //! 3. **Prefetch depth**: DDMT's L2-only fills vs filling the L1 too.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use preexec_bench::{banner, bench_config};
+use preexec_bench::{banner, bench_config, Runner};
 use preexec_critpath::{CritPathConfig, CritPathModel, InteractionModel};
 use preexec_harness::Prepared;
 use preexec_sim::{Simulator, SpawnPoint};
@@ -43,7 +42,10 @@ fn ablate_spawn_point(cfg: &preexec_harness::ExpConfig) {
     println!("\n-- ablation: spawn point (parser, L-p-threads) --");
     let prep = Prepared::build("parser", cfg);
     let sel = prep.select(SelectionTarget::Latency);
-    for (name, sp) in [("decode", SpawnPoint::Decode), ("commit", SpawnPoint::Commit)] {
+    for (name, sp) in [
+        ("decode", SpawnPoint::Decode),
+        ("commit", SpawnPoint::Commit),
+    ] {
         let mut sim_cfg = cfg.sim;
         sim_cfg.spawn_point = sp;
         let rep = Simulator::new(&prep.program, sim_cfg)
@@ -76,7 +78,7 @@ fn ablate_prefetch_depth(cfg: &preexec_harness::ExpConfig) {
     }
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = bench_config();
     banner("design-choice ablations");
     ablate_interaction_model(&cfg);
@@ -90,13 +92,5 @@ fn bench(c: &mut Criterion) {
     let profile = Profile::compute(&program, &trace, &ann);
     let target = profile.problem_loads(&program, 100)[0].pc;
     let model = CritPathModel::new(&trace, &ann, CritPathConfig::default());
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("load_cost/mcf", |b| {
-        b.iter(|| std::hint::black_box(model.load_cost(target)))
-    });
-    g.finish();
+    Runner::new("ablations").bench("load_cost/mcf", || model.load_cost(target));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,32 +2,24 @@
 //! for unoptimized vs classic-PTHSEL executions, and measures the
 //! dependence-graph critical-path analysis that produces the N bars.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use preexec_bench::{banner, bench_config};
+use preexec_bench::{banner, bench_config, Runner};
 use preexec_critpath::{CritPathConfig, CritPathModel};
 use preexec_harness::experiments::fig2;
+use preexec_harness::Engine;
 use preexec_trace::{FuncSim, MemAnnotation};
 use preexec_workloads::{build, InputSet};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = bench_config();
+    let engine = Engine::from_env();
     banner("Figure 2 (latency + energy breakdowns, N vs O)");
-    print!("{}", fig2::run(&cfg));
+    print!("{}", fig2::run(&engine, &cfg));
 
     // Measure the critical-path pass on a representative benchmark.
     let program = build("parser", InputSet::Train).unwrap();
     let trace = FuncSim::new(&program).run_trace(cfg.trace_cap);
     let ann = MemAnnotation::compute(&trace, cfg.sim.hierarchy);
-    let mut g = c.benchmark_group("fig2");
-    g.sample_size(10);
-    g.bench_function("critpath_breakdown/parser", |b| {
-        b.iter(|| {
-            let m = CritPathModel::new(&trace, &ann, CritPathConfig::default());
-            std::hint::black_box(m.breakdown())
-        })
+    Runner::new("fig2").bench("critpath_breakdown/parser", || {
+        CritPathModel::new(&trace, &ann, CritPathConfig::default()).breakdown()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

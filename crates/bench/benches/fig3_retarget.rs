@@ -2,29 +2,20 @@
 //! across the nine benchmarks) and measures the selection + simulation
 //! step on a representative benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use preexec_bench::{banner, bench_config};
+use preexec_bench::{banner, bench_config, Runner};
 use preexec_harness::experiments::fig3;
-use preexec_harness::Prepared;
+use preexec_harness::{Engine, Prepared};
 use pthsel::SelectionTarget;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = bench_config();
+    let engine = Engine::from_env();
     banner("Figure 3 (retargeting study)");
-    print!("{}", fig3::run(&cfg));
+    print!("{}", fig3::run(&engine, &cfg));
 
     let prep = Prepared::build("twolf", &cfg);
-    let mut g = c.benchmark_group("fig3");
-    g.sample_size(10);
-    g.bench_function("select/twolf/ed", |b| {
-        b.iter(|| std::hint::black_box(prep.select(SelectionTarget::Ed)))
-    });
+    let g = Runner::new("fig3");
+    g.bench("select/twolf/ed", || prep.select(SelectionTarget::Ed));
     let sel = prep.select(SelectionTarget::Latency);
-    g.bench_function("simulate/twolf/with_pthreads", |b| {
-        b.iter(|| std::hint::black_box(prep.run_with(&sel)))
-    });
-    g.finish();
+    g.bench("simulate/twolf/with_pthreads", || prep.run_with(&sel));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

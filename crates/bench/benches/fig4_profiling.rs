@@ -2,29 +2,23 @@
 //! (p-threads selected on the ref input, evaluated on train) and measures
 //! the cross-input preparation step.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use preexec_bench::{banner, bench_config};
+use preexec_bench::{banner, bench_config, Runner};
 use preexec_harness::experiments::fig4;
-use preexec_harness::{ExpConfig, Prepared};
+use preexec_harness::{Engine, ExpConfig, Prepared};
 use preexec_workloads::InputSet;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = bench_config();
+    let engine = Engine::from_env();
     banner("Figure 4 (realistic profiling)");
-    print!("{}", fig4::run(&cfg));
+    print!("{}", fig4::run(&engine, &cfg));
 
     let cross = ExpConfig {
         profile_input: InputSet::Ref,
         run_input: InputSet::Train,
         ..cfg
     };
-    let mut g = c.benchmark_group("fig4");
-    g.sample_size(10);
-    g.bench_function("prepare_cross_input/bzip2", |b| {
-        b.iter(|| std::hint::black_box(Prepared::build("bzip2", &cross)))
+    Runner::new("fig4").bench("prepare_cross_input/bzip2", || {
+        Prepared::build("bzip2", &cross)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,29 +2,23 @@
 //! factor, memory latency, L2 size/latency) and measures one sweep-point
 //! evaluation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use preexec_bench::{banner, bench_config};
+use preexec_bench::{banner, bench_config, Runner};
 use preexec_harness::experiments::fig5;
-use preexec_harness::Prepared;
+use preexec_harness::{Engine, Prepared};
 use pthsel::SelectionTarget;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = bench_config();
+    let engine = Engine::from_env();
     banner("Figure 5 (sensitivity sweeps)");
-    print!("{}", fig5::idle_factor_sweep(&cfg));
-    print!("{}", fig5::mem_latency_sweep(&cfg));
-    print!("{}", fig5::l2_sweep(&cfg));
+    print!("{}", fig5::idle_factor_sweep(&engine, &cfg));
+    print!("{}", fig5::mem_latency_sweep(&engine, &cfg));
+    print!("{}", fig5::l2_sweep(&engine, &cfg));
 
-    let mut g = c.benchmark_group("fig5");
-    g.sample_size(10);
     let mut point = cfg;
     point.sim = point.sim.with_mem_latency(300);
     let prep = Prepared::build("vortex", &point);
-    g.bench_function("sweep_point/vortex_mem300", |b| {
-        b.iter(|| std::hint::black_box(prep.evaluate(SelectionTarget::Ed)))
+    Runner::new("fig5").bench("sweep_point/vortex_mem300", || {
+        prep.evaluate(SelectionTarget::Ed)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

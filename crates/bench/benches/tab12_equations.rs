@@ -1,18 +1,12 @@
 //! Tables 1–2: regenerates the worked equation example and measures the
 //! cost of evaluating the full PTHSEL+E equation stack per candidate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use preexec_bench::{banner, bench_config};
+use preexec_bench::{banner, bench_config, Runner};
 use preexec_harness::experiments::tab12;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = bench_config();
     banner("Tables 1-2 (PTHSEL / PTHSEL+E equations)");
     print!("{}", tab12::run(&cfg));
-    c.bench_function("tab12/equation_stack", |b| {
-        b.iter(|| std::hint::black_box(tab12::run(&cfg)))
-    });
+    Runner::new("tab12").bench("equation_stack", || tab12::run(&cfg));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,23 +2,15 @@
 //! latency, energy, and ED) and measures the end-to-end preparation
 //! pipeline behind them.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use preexec_bench::{banner, bench_config};
+use preexec_bench::{banner, bench_config, Runner};
 use preexec_harness::experiments::tab3;
-use preexec_harness::Prepared;
+use preexec_harness::{Engine, Prepared};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let cfg = bench_config();
+    let engine = Engine::from_env();
     banner("Table 3 (model validation)");
-    print!("{}", tab3::run(&cfg));
+    print!("{}", tab3::run(&engine, &cfg));
 
-    let mut g = c.benchmark_group("tab3");
-    g.sample_size(10);
-    g.bench_function("prepare/gcc", |b| {
-        b.iter(|| std::hint::black_box(Prepared::build("gcc", &cfg)))
-    });
-    g.finish();
+    Runner::new("tab3").bench("prepare/gcc", || Prepared::build("gcc", &cfg));
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -167,7 +167,10 @@ mod tests {
     #[test]
     fn selects_hint_pthreads_for_random_branch() {
         let (sel, misp) = branch_selection(SelectionTarget::Latency);
-        assert!(!sel.pthreads.is_empty(), "branch p-threads must be selected");
+        assert!(
+            !sel.pthreads.is_empty(),
+            "branch p-threads must be selected"
+        );
         for p in &sel.pthreads {
             assert!(p.branch_hint.is_some());
             assert!(p.body.iter().all(|i| i.is_pthread_eligible()));

@@ -91,6 +91,33 @@ mod tests {
         assert!((m.baseline() - expected).abs() < 1e-6);
     }
 
+    /// C1–C4 against hand-computed values at the four paper weights
+    /// (`W = 1` latency, `0.5` ED, `0.67` ≈ ED², `0` energy), with
+    /// `L0 = 10^6`, `E0 = 4·10^5`, `LADVagg = 10^4`, `EADVagg = 2·10^3`:
+    /// `CADVagg = L0^W·E0^(1−W) − (L0−LADVagg)^W·(E0−EADVagg)^(1−W)`.
+    #[test]
+    fn c1_through_c4_match_hand_computation() {
+        let cases = [
+            // (W, baseline, cadv_agg) — computed by hand/bc.
+            (0.0, 400_000.0, 2_000.0),
+            (0.5, 632_455.5320336759, 4_745.407852139324),
+            (0.67, 739_060.1692542803, 6_173.209841789096),
+            (1.0, 1_000_000.0, 10_000.0),
+        ];
+        for (w, baseline, cadv) in cases {
+            let m = CompositeModel::new(app(), w);
+            assert!(
+                (m.baseline() - baseline).abs() < 1e-6 * baseline,
+                "baseline at W={w}"
+            );
+            let got = m.cadv_agg(10_000.0, 2_000.0);
+            assert!(
+                (got - cadv).abs() < 1e-6 * cadv,
+                "cadv at W={w}: got {got}, want {cadv}"
+            );
+        }
+    }
+
     #[test]
     fn zero_advantage_is_zero() {
         for w in [0.0, 0.5, 0.67, 1.0] {

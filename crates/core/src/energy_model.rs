@@ -161,6 +161,40 @@ mod tests {
         assert!(m.eadv_agg(&c, breakeven_ladv * 0.5) < 0.0);
     }
 
+    /// The whole E1–E8 stack against hand-computed values, using the E8
+    /// vendor constants (§4.2): Ef/a = 0.09, Exall/a = 0.049,
+    /// Exalu/a = 0.008, Exload/a = 0.038, EL2/a = 0.136, Eidle/c = 0.05.
+    #[test]
+    fn e1_through_e8_match_hand_computation() {
+        let p = EnergyParams::default();
+        // E8: the parameters themselves are the paper's vendor table.
+        assert_eq!(p.e_fetch_per_access, 0.09);
+        assert_eq!(p.e_xall_per_access, 0.049);
+        assert_eq!(p.e_xalu_per_access, 0.008);
+        assert_eq!(p.e_xload_per_access, 0.038);
+        assert_eq!(p.e_l2_per_access, 0.136);
+        assert_eq!(p.e_idle_per_cycle, 0.05);
+
+        let m = model();
+        // SIZE 6 (4 ALU + 2 loads), 50 dynamic instances, 0.25 aggregate
+        // L1 miss weight.
+        let c = cand(4, 2, 50, 0.25);
+        // E5: ceil(6/6) = 1 block -> 0.09.
+        assert!((m.e_fetch(&c) - 0.09).abs() < 1e-12);
+        // E6: 6(0.049) + 4(0.008) + 2(0.038) = 0.402.
+        assert!((m.e_exec(&c) - 0.402).abs() < 1e-12);
+        // E7: 0.25(0.136) = 0.034.
+        assert!((m.e_l2(&c) - 0.034).abs() < 1e-12);
+        // E4 = E5 + E6 + E7 = 0.526.
+        assert!((m.eoh(&c) - 0.526).abs() < 1e-12);
+        // E3 = 50(0.526) = 26.3.
+        assert!((m.eoh_agg(&c) - 26.3).abs() < 1e-12);
+        // E2 at LADVagg = 1000: 1000(0.05) = 50.
+        assert!((m.ered_agg(1000.0) - 50.0).abs() < 1e-12);
+        // E1 = 50 - 26.3 = 23.7.
+        assert!((m.eadv_agg(&c, 1000.0) - 23.7).abs() < 1e-12);
+    }
+
     #[test]
     fn zero_idle_factor_makes_every_pthread_an_energy_loss() {
         // The Figure 5 (top) observation: with Eidle/c = 0 every EADVagg

@@ -57,8 +57,7 @@ impl<'a> LatencyModel<'a> {
     /// The p-thread consumes `SIZE/BWSEQproc` fetch cycles, discounted by
     /// how much of the machine's bandwidth the main thread actually uses.
     pub fn loh(&self, c: &Candidate) -> f64 {
-        (c.size() as f64 / self.machine.bw_seq_proc)
-            * (self.bw_seq_mt / self.machine.bw_seq_proc)
+        (c.size() as f64 / self.machine.bw_seq_proc) * (self.bw_seq_mt / self.machine.bw_seq_proc)
     }
 
     /// Per-covered-miss latency gain (`LRED`), after the miss-cost
@@ -140,7 +139,7 @@ mod tests {
     fn l4_matches_formula() {
         let m = model(MissCostModel::Flat, &[]);
         let c = cand(11, 100, 40, 150.0); // SIZE = 12
-        // (12/6) * (1.5/6) = 2 * 0.25 = 0.5
+                                          // (12/6) * (1.5/6) = 2 * 0.25 = 0.5
         assert!((m.loh(&c) - 0.5).abs() < 1e-12);
         assert!((m.loh_agg(&c) - 50.0).abs() < 1e-12);
     }

@@ -248,8 +248,7 @@ fn merge_trigger_group(group: &[(Candidate, f64, f64)]) -> Vec<PThread> {
     partitions
         .into_iter()
         .map(|part| {
-            let bodies: Vec<Vec<Inst>> =
-                part.iter().map(|&k| group[k].0.body.clone()).collect();
+            let bodies: Vec<Vec<Inst>> = part.iter().map(|&k| group[k].0.body.clone()).collect();
             let mut targets: Vec<Pc> = part.iter().map(|&k| group[k].0.root_pc).collect();
             targets.sort_unstable();
             targets.dedup();

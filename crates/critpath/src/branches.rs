@@ -113,7 +113,11 @@ mod tests {
         let probs = problem_branches(&t, PredictorConfig::default(), 50);
         assert!(!probs.is_empty());
         assert_eq!(probs[0].pc, 7, "the data-random branch must top the list");
-        assert!(probs[0].stats.rate() > 0.25, "rate {}", probs[0].stats.rate());
+        assert!(
+            probs[0].stats.rate() > 0.25,
+            "rate {}",
+            probs[0].stats.rate()
+        );
         // The loop back-branch is well predicted: absent or far below.
         if let Some(back) = probs.iter().find(|pb| pb.pc == 10) {
             assert!(back.stats.mispredicts < probs[0].stats.mispredicts / 5);

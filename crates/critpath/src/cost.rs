@@ -137,12 +137,7 @@ mod tests {
 
     #[test]
     fn interpolation_between_samples() {
-        let c = LoadCost::from_points(
-            1,
-            5,
-            200.0,
-            vec![(0.0, 0.0), (100.0, 80.0), (200.0, 100.0)],
-        );
+        let c = LoadCost::from_points(1, 5, 200.0, vec![(0.0, 0.0), (100.0, 80.0), (200.0, 100.0)]);
         assert!((c.gain(50.0) - 40.0).abs() < 1e-9);
         assert!((c.gain(150.0) - 90.0).abs() < 1e-9);
         assert_eq!(c.gain(500.0), 100.0);

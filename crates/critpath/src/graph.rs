@@ -177,7 +177,15 @@ pub fn longest_path(trace: &Trace, inputs: &[NodeInput], cfg: &CritPathConfig) -
             // In-order fetch at finite bandwidth: a new fetch group starts
             // every `fetch_width` instructions.
             let w = u64::from(i % fw == 0);
-            consider(&mut best_t, &mut best_p, tf[i - 1], Node::F, (i - 1) as Seq, Category::Fetch, w);
+            consider(
+                &mut best_t,
+                &mut best_p,
+                tf[i - 1],
+                Node::F,
+                (i - 1) as Seq,
+                Category::Fetch,
+                w,
+            );
             // Branch misprediction: fetch of the next instruction waits for
             // the branch to execute plus the refill penalty.
             if inputs[i - 1].mispredicted {

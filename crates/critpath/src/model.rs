@@ -149,7 +149,9 @@ impl<'t> CritPathModel<'t> {
             .trace
             .iter()
             .enumerate()
-            .filter(|(i, e)| e.pc == pc && e.inst.is_load() && self.base[*i].served == Some(Level::Mem))
+            .filter(|(i, e)| {
+                e.pc == pc && e.inst.is_load() && self.base[*i].served == Some(Level::Mem)
+            })
             .count() as u64;
         let tol_max = self.tolerable_cycles() as f64;
         if misses == 0 {
@@ -241,7 +243,10 @@ mod tests {
             let x = tol * k as f64 / 8.0;
             let g = cost.gain(x);
             assert!(g + 1e-9 >= last, "gain must be nondecreasing");
-            assert!(g <= x + 1e-9, "per-miss gain {g} cannot exceed tolerated {x}");
+            assert!(
+                g <= x + 1e-9,
+                "per-miss gain {g} cannot exceed tolerated {x}"
+            );
             last = g;
         }
     }

@@ -1,8 +1,8 @@
 //! Energy computation: per-access constants, idle energy, and the paper's
 //! Figure 2/3 energy-breakdown categories.
 
-use serde::{Deserialize, Serialize};
 use crate::AccessCounts;
+use preexec_json::impl_json_object;
 
 /// Per-access energy constants in units of the processor's maximum
 /// per-cycle energy, plus the idle energy factor. Defaults follow the
@@ -10,7 +10,7 @@ use crate::AccessCounts;
 /// `Exload/a` 3.8%, `EL2/a` 13.6%, `Eidle/c` 5%) with a ROB+predictor
 /// per-instruction charge sized so the unoptimized per-structure shares
 /// resemble the paper's Wattch breakdown.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct EnergyConfig {
     /// Instruction-cache energy per block access.
     pub e_icache: f64,
@@ -55,7 +55,7 @@ impl EnergyConfig {
 
 /// An energy total decomposed into the categories of the paper's energy
 /// graphs, in units of max-per-cycle energy × cycles.
-#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub struct EnergyBreakdown {
     /// Main-thread instruction-memory energy.
     pub imem_main: f64,
@@ -115,6 +115,29 @@ impl EnergyBreakdown {
         self.imem_pth + self.dmem_pth + self.l2_pth + self.dec_ooo_pth
     }
 }
+
+impl_json_object!(EnergyConfig {
+    e_icache,
+    e_xall,
+    e_alu,
+    e_dcache,
+    e_l2,
+    e_rob_bpred,
+    idle_factor,
+});
+
+impl_json_object!(EnergyBreakdown {
+    imem_main,
+    dmem_main,
+    l2_main,
+    dec_ooo_main,
+    rob_bpred,
+    idle,
+    imem_pth,
+    dmem_pth,
+    l2_pth,
+    dec_ooo_pth,
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,81 +1,110 @@
 //! `repro` — regenerates any table or figure of the paper.
 //!
-//! Usage: `repro [--json] <experiment>...` where experiment is one of
-//! `fig2 fig3 fig4 fig5a fig5b fig5c tab12 tab3 ed2 all`.
+//! Usage: `repro [--json] [--metrics] [--progress] <experiment>...` where
+//! experiment is one of `fig2 fig3 fig4 fig5a fig5b fig5c tab12 tab3 ed2
+//! branch cfg combined all`.
 //!
-//! With `--json`, results are emitted as machine-readable JSON (one
-//! object per experiment) instead of text tables.
+//! Experiments run on the parallel caching [`Engine`]; set `REPRO_THREADS`
+//! to override the worker count (1 = serial; results are identical either
+//! way). With `--json`, results are emitted as machine-readable JSON (one
+//! object per experiment) instead of text tables. With `--metrics`, a
+//! final JSON line reports per-stage wall-clock, pipeline counters, and
+//! cache hit/miss statistics. With `--progress`, the engine narrates
+//! pipeline builds and evaluations on stderr.
 
-use preexec_harness::{experiments, ExpConfig};
+use preexec_harness::{experiments, Engine, ExpConfig};
+use preexec_json::{jobj, ToJson};
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--json] <fig2|fig3|fig4|fig5a|fig5b|fig5c|tab12|tab3|ed2|branch|cfg|combined|all>");
+    eprintln!(
+        "usage: repro [--json] [--metrics] [--progress] \
+         <fig2|fig3|fig4|fig5a|fig5b|fig5c|tab12|tab3|ed2|branch|cfg|combined|all>"
+    );
     std::process::exit(2);
 }
 
-fn run_one(id: &str, cfg: &ExpConfig, json: bool) {
+fn run_one(engine: &Engine, id: &str, cfg: &ExpConfig, json: bool) {
     macro_rules! emit {
         ($value:expr) => {{
             let v = $value;
             if json {
-                println!(
-                    "{}",
-                    serde_json::json!({ "experiment": id, "data": v })
-                );
+                println!("{}", jobj! { "experiment" => id, "data" => v.to_json() });
             } else {
                 print!("{v}");
             }
         }};
     }
     match id {
-        "fig2" => emit!(experiments::fig2::run(cfg)),
-        "fig3" => emit!(experiments::fig3::run(cfg)),
-        "fig4" => emit!(experiments::fig4::run(cfg)),
-        "fig5a" => emit!(experiments::fig5::idle_factor_sweep(cfg)),
-        "fig5b" => emit!(experiments::fig5::mem_latency_sweep(cfg)),
-        "fig5c" => emit!(experiments::fig5::l2_sweep(cfg)),
+        "fig2" => emit!(experiments::fig2::run(engine, cfg)),
+        "fig3" => emit!(experiments::fig3::run(engine, cfg)),
+        "fig4" => emit!(experiments::fig4::run(engine, cfg)),
+        "fig5a" => emit!(experiments::fig5::idle_factor_sweep(engine, cfg)),
+        "fig5b" => emit!(experiments::fig5::mem_latency_sweep(engine, cfg)),
+        "fig5c" => emit!(experiments::fig5::l2_sweep(engine, cfg)),
         "tab12" => emit!(experiments::tab12::run(cfg)),
-        "tab3" => emit!(experiments::tab3::run(cfg)),
-        "ed2" => emit!(experiments::ed2::run(cfg)),
-        "branch" => emit!(experiments::branch::run(cfg)),
-        "cfg" => emit!(experiments::cfgsweep::run(cfg)),
-        "combined" => emit!(experiments::branch::run_combined_all(cfg)),
+        "tab3" => emit!(experiments::tab3::run(engine, cfg)),
+        "ed2" => emit!(experiments::ed2::run(engine, cfg)),
+        "branch" => emit!(experiments::branch::run(engine, cfg)),
+        "cfg" => emit!(experiments::cfgsweep::run(engine, cfg)),
+        "combined" => emit!(experiments::branch::run_combined_all(engine, cfg)),
         _ => usage(),
     }
 }
 
 fn main() {
     let mut json = false;
+    let mut metrics = false;
+    let mut progress = false;
     let args: Vec<String> = std::env::args()
         .skip(1)
-        .filter(|a| {
-            if a == "--json" {
+        .filter(|a| match a.as_str() {
+            "--json" => {
                 json = true;
                 false
-            } else {
-                true
             }
+            "--metrics" => {
+                metrics = true;
+                false
+            }
+            "--progress" => {
+                progress = true;
+                false
+            }
+            _ => true,
         })
         .collect();
     if args.is_empty() {
         usage();
     }
+    let engine = Engine::from_env().with_progress(progress);
     let cfg = ExpConfig::default();
+    let start = std::time::Instant::now();
     for id in &args {
         if id == "all" {
             for x in [
-                "tab12", "fig2", "fig3", "tab3", "fig4", "fig5a", "fig5b", "fig5c", "ed2", "branch", "cfg", "combined",
+                "tab12", "fig2", "fig3", "tab3", "fig4", "fig5a", "fig5b", "fig5c", "ed2",
+                "branch", "cfg", "combined",
             ] {
                 if !json {
                     println!("==== {x} ====");
                 }
-                run_one(x, &cfg, json);
+                run_one(&engine, x, &cfg, json);
                 if !json {
                     println!();
                 }
             }
         } else {
-            run_one(id, &cfg, json);
+            run_one(&engine, id, &cfg, json);
         }
+    }
+    if metrics {
+        println!(
+            "{}",
+            jobj! {
+                "metrics" => engine.metrics().to_json(),
+                "threads" => engine.threads(),
+                "total_wall_ms" => start.elapsed().as_secs_f64() * 1e3
+            }
+        );
     }
 }

@@ -26,14 +26,14 @@ pub fn signed_bars(title: &str, rows: &[(String, f64)], width: usize) -> String 
     for (label, v) in rows {
         let n = ((v.abs() / max) * half as f64).round() as usize;
         let (left, right) = if *v < 0.0 {
-            (format!("{}{}", " ".repeat(half - n), "#".repeat(n)), String::new())
+            (
+                format!("{}{}", " ".repeat(half - n), "#".repeat(n)),
+                String::new(),
+            )
         } else {
             (" ".repeat(half), "#".repeat(n))
         };
-        let _ = writeln!(
-            out,
-            "{label:<label_w$} {left}|{right} {v:+.1}",
-        );
+        let _ = writeln!(out, "{label:<label_w$} {left}|{right} {v:+.1}",);
     }
     out
 }
@@ -81,7 +81,11 @@ mod tests {
     fn signed_bars_direction() {
         let s = signed_bars(
             "t",
-            &[("pos".into(), 8.0), ("neg".into(), -8.0), ("zero".into(), 0.0)],
+            &[
+                ("pos".into(), 8.0),
+                ("neg".into(), -8.0),
+                ("zero".into(), 0.0),
+            ],
             20,
         );
         let lines: Vec<&str> = s.lines().collect();

@@ -1,0 +1,430 @@
+//! The experiment engine: a work pool that fans (workload × config ×
+//! target) cells across cores, a three-layer memo cache, and the
+//! [`Metrics`] observability layer.
+//!
+//! The cache layers, outermost first:
+//!
+//! 1. **Cores** ([`PreparedCore::structural_key`]) — energy-constant and
+//!    selection-weight sweeps reuse the full
+//!    trace/profile/slice/critpath/baseline pipeline.
+//! 2. **Bases** ([`PreparedBase::base_key`]) — slice-knob sweeps rebuild
+//!    only the trees, sharing the critical-path model and baseline run.
+//! 3. **Simulations** (structural key × selection signature) — any two
+//!    cells that select the same p-threads on the same machine share one
+//!    deterministic timing run.
+//!
+//! Results are bit-identical to the serial path: every cell is computed
+//! independently from the same deterministic inputs and collected in
+//! submission order, so thread scheduling can reorder *work* but never
+//! *output* (`tests/golden.rs` and the property suite enforce this).
+
+use crate::experiments::BenchEval;
+use crate::metrics::{Metrics, Stage};
+use crate::setup::{ExpConfig, Prepared, PreparedBase, PreparedCore, TargetResult};
+use preexec_sim::SimReport;
+use pthsel::SelectionTarget;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "REPRO_THREADS";
+
+/// A once-cell per cache key: the first thread to lock an empty slot
+/// builds the value while later arrivals block on the slot (not the whole
+/// map), then share the `Arc`.
+struct Slot<T>(Mutex<Option<Arc<T>>>);
+
+impl<T> Default for Slot<T> {
+    fn default() -> Slot<T> {
+        Slot(Mutex::new(None))
+    }
+}
+
+type SlotMap<T> = Mutex<HashMap<String, Arc<Slot<T>>>>;
+
+/// Looks up `key`, building with `build` on a miss. Returns the shared
+/// value and whether this call was a hit.
+fn memo<T>(map: &SlotMap<T>, key: String, build: impl FnOnce() -> T) -> (Arc<T>, bool) {
+    let slot = {
+        let mut map = map.lock().unwrap();
+        map.entry(key).or_default().clone()
+    };
+    let mut guard = slot.0.lock().unwrap();
+    if let Some(value) = guard.as_ref() {
+        (value.clone(), true)
+    } else {
+        let value = Arc::new(build());
+        *guard = Some(value.clone());
+        (value, false)
+    }
+}
+
+/// The parallel, caching experiment driver. Create one per process (or
+/// per test) and pass it to every experiment.
+pub struct Engine {
+    threads: usize,
+    /// Slice-independent artifacts by [`PreparedBase::base_key`].
+    bases: SlotMap<PreparedBase>,
+    /// Full cores by [`PreparedCore::structural_key`].
+    cache: SlotMap<PreparedCore>,
+    /// Optimized-run reports by (structural key, selection signature):
+    /// the timing simulator is deterministic, so one selection on one
+    /// machine is simulated exactly once per process.
+    sims: SlotMap<SimReport>,
+    /// Experiment-owned memoized values (e.g. the branch-study pipeline),
+    /// type-erased so the engine stays decoupled from experiment types.
+    aux: SlotMap<Box<dyn std::any::Any + Send + Sync>>,
+    metrics: Metrics,
+    progress: bool,
+}
+
+impl Engine {
+    /// An engine with an explicit worker count (`0` and `1` both mean
+    /// serial execution).
+    pub fn new(threads: usize) -> Engine {
+        Engine {
+            threads: threads.max(1),
+            bases: Mutex::new(HashMap::new()),
+            cache: Mutex::new(HashMap::new()),
+            sims: Mutex::new(HashMap::new()),
+            aux: Mutex::new(HashMap::new()),
+            metrics: Metrics::new(),
+            progress: false,
+        }
+    }
+
+    /// An engine sized from `REPRO_THREADS` if set (and parseable), else
+    /// the host's available parallelism.
+    pub fn from_env() -> Engine {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Engine::new(threads)
+    }
+
+    /// Enables live progress lines on stderr.
+    pub fn with_progress(mut self, on: bool) -> Engine {
+        self.progress = on;
+        self
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The engine's accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn say(&self, msg: impl FnOnce() -> String) {
+        if self.progress {
+            eprintln!("[engine] {}", msg());
+        }
+    }
+
+    /// The memoized [`Prepared`] for `(name, cfg)`. The first caller of a
+    /// structural key builds the core (other callers of the same key block
+    /// on it; different keys proceed in parallel); later callers get a
+    /// cache hit and only recompute the cheap energy-dependent finish.
+    pub fn prepared(&self, name: &str, cfg: &ExpConfig) -> Prepared {
+        let start = std::time::Instant::now();
+        let (core, hit) = memo(&self.cache, PreparedCore::structural_key(name, cfg), || {
+            let base = self.base(name, cfg);
+            PreparedCore::from_base_metered(&base, cfg, Some(&self.metrics))
+        });
+        if hit {
+            self.metrics.add_cache_hit();
+        } else {
+            self.metrics.add_cache_miss();
+            self.say(|| {
+                format!(
+                    "prepared {name} in {:.2}s (cache miss)",
+                    start.elapsed().as_secs_f64()
+                )
+            });
+        }
+        Prepared::from_core(core, cfg)
+    }
+
+    /// The memoized slice-independent base artifacts for `(name, cfg)`.
+    fn base(&self, name: &str, cfg: &ExpConfig) -> Arc<PreparedBase> {
+        let (base, hit) = memo(&self.bases, PreparedBase::base_key(name, cfg), || {
+            PreparedBase::build_metered(name, cfg, Some(&self.metrics))
+        });
+        if hit {
+            self.metrics.add_base_hit();
+        } else {
+            self.metrics.add_base_miss();
+        }
+        base
+    }
+
+    /// Selects for `target` and simulates, with both stages metered. The
+    /// simulation is memoized on (machine, selection): different targets
+    /// or sweep points that choose the same p-threads share one timing
+    /// run, since the simulator is deterministic in those inputs.
+    pub fn evaluate(&self, prep: &Prepared, target: SelectionTarget) -> TargetResult {
+        let selection = self.metrics.time(Stage::Select, || prep.select(target));
+        let report = if selection.pthreads.is_empty() {
+            // Nothing installed: the optimized machine *is* the baseline
+            // machine, so reuse its (already computed) run.
+            self.metrics.add_sim_hit();
+            prep.baseline.clone()
+        } else {
+            let sim_key = format!(
+                "{}|{:?}",
+                PreparedCore::structural_key(&prep.name, &prep.cfg),
+                selection.pthreads,
+            );
+            let (report, hit) = memo(&self.sims, sim_key, || {
+                let report = self
+                    .metrics
+                    .time(Stage::OptSim, || prep.run_with(&selection));
+                self.metrics.add_sim_cycles(report.cycles);
+                report
+            });
+            if hit {
+                self.metrics.add_sim_hit();
+            } else {
+                self.metrics.add_sim_miss();
+            }
+            (*report).clone()
+        };
+        self.metrics.add_cell();
+        self.say(|| {
+            format!(
+                "evaluated {}/{} ({} p-threads)",
+                prep.name,
+                target.label(),
+                selection.pthreads.len()
+            )
+        });
+        TargetResult {
+            target,
+            selection,
+            report,
+        }
+    }
+
+    /// Memoizes an arbitrary experiment-side value under `key`. The first
+    /// caller builds it; later callers (from any thread) share the `Arc`.
+    /// Keys are namespaced by the caller and must determine the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` was previously used with a different type `T`.
+    pub fn cached<T: Send + Sync + 'static>(
+        &self,
+        key: String,
+        build: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        let (boxed, _hit) = memo(&self.aux, key, || {
+            Box::new(Arc::new(build())) as Box<dyn std::any::Any + Send + Sync>
+        });
+        boxed
+            .downcast_ref::<Arc<T>>()
+            .expect("aux cache key reused with a different type")
+            .clone()
+    }
+
+    /// Applies `f` to every item on the work pool, returning results in
+    /// input order. Serial when the engine has one thread or one item, so
+    /// parallel and serial engines traverse identical code per item.
+    pub fn par_map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let out: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = jobs[i].lock().unwrap().take().expect("job taken once");
+                    let result = f(item);
+                    *out[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+        out.into_iter()
+            .map(|m| m.into_inner().unwrap().expect("job completed"))
+            .collect()
+    }
+
+    /// Prepares and evaluates `names` × `targets` under one `cfg` — the
+    /// engine-backed replacement for the old serial `eval_benchmarks`.
+    pub fn eval_benchmarks(
+        &self,
+        names: &[&str],
+        cfg: &ExpConfig,
+        targets: &[SelectionTarget],
+    ) -> Vec<BenchEval> {
+        let cells: Vec<(&str, ExpConfig)> = names.iter().map(|&n| (n, *cfg)).collect();
+        self.eval_grid(&cells, targets)
+    }
+
+    /// Prepares and evaluates an explicit (benchmark, config) grid — the
+    /// shape sweeps use, so every sweep point's every target is one work
+    /// item. Output order is `cells` × `targets`, independent of thread
+    /// count.
+    pub fn eval_grid(
+        &self,
+        cells: &[(&str, ExpConfig)],
+        targets: &[SelectionTarget],
+    ) -> Vec<BenchEval> {
+        let jobs: Vec<(&str, ExpConfig, SelectionTarget)> = cells
+            .iter()
+            .flat_map(|&(name, cfg)| targets.iter().map(move |&t| (name, cfg, t)))
+            .collect();
+        let results = self.par_map(jobs, |(name, cfg, target)| {
+            let prep = self.prepared(name, &cfg);
+            let result = self.evaluate(&prep, target);
+            (prep, result)
+        });
+        let mut iter = results.into_iter();
+        cells
+            .iter()
+            .map(|&(name, cfg)| {
+                let mut prep = None;
+                let mut results = Vec::with_capacity(targets.len());
+                for _ in targets {
+                    let (p, r) = iter.next().expect("one result per job");
+                    prep.get_or_insert(p);
+                    results.push(r);
+                }
+                BenchEval {
+                    prep: prep.unwrap_or_else(|| self.prepared(name, &cfg)),
+                    results,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let e = Engine::new(8);
+        let out = e.par_map((0..100).collect::<Vec<_>>(), |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_serial_matches_parallel() {
+        let serial = Engine::new(1).par_map((0..37).collect::<Vec<_>>(), |i| i * i);
+        let parallel = Engine::new(4).par_map((0..37).collect::<Vec<_>>(), |i| i * i);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn structural_key_ignores_energy_but_not_machine() {
+        let base = ExpConfig::default();
+        let mut energy_only = base;
+        energy_only.energy = energy_only.energy.with_idle_factor(0.10);
+        assert_eq!(
+            PreparedCore::structural_key("gap", &base),
+            PreparedCore::structural_key("gap", &energy_only),
+        );
+        let mut machine = base;
+        machine.sim = machine.sim.with_mem_latency(300);
+        assert_ne!(
+            PreparedCore::structural_key("gap", &base),
+            PreparedCore::structural_key("gap", &machine),
+        );
+        assert_ne!(
+            PreparedCore::structural_key("gap", &base),
+            PreparedCore::structural_key("mcf", &base),
+        );
+    }
+
+    #[test]
+    fn slice_sweep_reuses_base_artifacts() {
+        let e = Engine::new(1);
+        let cfg = ExpConfig::default();
+        let a = e.prepared("gap", &cfg);
+        assert_eq!(e.metrics().base_misses(), 1);
+        let mut knobs = cfg;
+        knobs.slice.window /= 2;
+        let b = e.prepared("gap", &knobs);
+        assert_eq!(
+            e.metrics().cache_misses(),
+            2,
+            "different slice knobs, different core"
+        );
+        assert_eq!(
+            e.metrics().base_misses(),
+            1,
+            "slice knobs must not rebuild the base"
+        );
+        assert_eq!(e.metrics().base_hits(), 1);
+        assert_eq!(a.baseline.cycles, b.baseline.cycles, "shared baseline run");
+    }
+
+    #[test]
+    fn identical_selections_share_one_simulation() {
+        let e = Engine::new(1);
+        let cfg = ExpConfig::default();
+        let prep = e.prepared("gap", &cfg);
+        let a = e.evaluate(&prep, SelectionTarget::Latency);
+        assert_eq!(e.metrics().sim_misses(), 1);
+        let b = e.evaluate(&prep, SelectionTarget::Latency);
+        assert_eq!(
+            e.metrics().sim_misses(),
+            1,
+            "second identical cell must reuse the run"
+        );
+        assert_eq!(e.metrics().sim_hits(), 1);
+        assert_eq!(a.report.cycles, b.report.cycles);
+        assert_eq!(
+            e.metrics().cells(),
+            2,
+            "cells still counts every evaluation"
+        );
+    }
+
+    #[test]
+    fn cache_hits_are_counted_and_reused() {
+        let e = Engine::new(2);
+        let cfg = ExpConfig::default();
+        let a = e.prepared("gap", &cfg);
+        assert_eq!(e.metrics().cache_misses(), 1);
+        assert_eq!(e.metrics().cache_hits(), 0);
+        let mut sweep = cfg;
+        sweep.energy = sweep.energy.with_idle_factor(0.10);
+        let b = e.prepared("gap", &sweep);
+        assert_eq!(
+            e.metrics().cache_misses(),
+            1,
+            "energy sweep must reuse the core"
+        );
+        assert_eq!(e.metrics().cache_hits(), 1);
+        assert!(Arc::ptr_eq(&a.core, &b.core));
+        // The cheap finish still tracks the energy constants.
+        assert!(
+            b.app.e0 > a.app.e0,
+            "higher idle factor, more baseline energy"
+        );
+    }
+}

@@ -3,24 +3,25 @@
 //! ahead of fetch, selected by PTHSEL+E with energy credited at the busy
 //! rate `Etotal/c`.
 
-use crate::{pct, ExpConfig, TextTable};
+use crate::{pct, Engine, ExpConfig, PreparedBase, TextTable};
 use preexec_critpath::problem_branches;
+use preexec_json::impl_json_object;
 use preexec_sim::Simulator;
 use preexec_slicer::SliceTree;
 use preexec_trace::{FuncSim, MemAnnotation, Profile};
 use preexec_workloads::InputSet;
 use pthsel::{
-    select_branch_pthreads, AppParams, SelectionTarget, SelectorInputs,
+    select_branch_pthreads, AppParams, Selection, SelectionTarget, SelectorInputs,
     DEFAULT_MISPREDICT_PENALTY,
 };
-use serde::Serialize;
 use std::fmt;
+use std::sync::Arc;
 
 /// Benchmarks with data-dependent (predictor-resistant) branches.
 pub const BENCHES: [&str; 4] = ["bzip2", "gap", "parser", "vpr.place"];
 
 /// One benchmark's branch pre-execution outcome.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BranchRow {
     /// Benchmark name.
     pub bench: String,
@@ -41,23 +42,66 @@ pub struct BranchRow {
 }
 
 /// The branch pre-execution study.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct BranchExt {
     /// Per-benchmark rows.
     pub rows: Vec<BranchRow>,
 }
 
-/// Runs branch-targeting selection and simulation on `BENCHES`.
-pub fn run(cfg: &ExpConfig) -> BranchExt {
-    let rows = BENCHES
-        .iter()
-        .map(|name| run_for(name, cfg, SelectionTarget::Latency))
-        .collect();
+impl_json_object!(BranchRow {
+    bench,
+    base_mispredicts,
+    opt_mispredicts,
+    hints_used,
+    hint_accuracy,
+    ipc_gain,
+    energy_save,
+    pthreads,
+});
+impl_json_object!(BranchExt { rows });
+
+/// Runs branch-targeting selection and simulation on `BENCHES`, one
+/// benchmark per work item.
+pub fn run(engine: &Engine, cfg: &ExpConfig) -> BranchExt {
+    let rows = engine.par_map(BENCHES.to_vec(), |name| {
+        study_cached(engine, name, cfg, SelectionTarget::Latency)
+            .row
+            .clone()
+    });
     BranchExt { rows }
+}
+
+/// A benchmark's branch-study artifacts: the result row plus the branch
+/// selection, so the combined study can install the same p-threads
+/// without re-mining.
+struct BranchStudy {
+    row: BranchRow,
+    selection: Selection,
+}
+
+/// The branch pipeline is engine-independent (it mines its own trace), so
+/// the engine memoizes whole studies through its generic side cache: the
+/// `branch` and `combined` experiments share one pipeline per benchmark.
+fn study_cached(
+    engine: &Engine,
+    name: &str,
+    cfg: &ExpConfig,
+    target: SelectionTarget,
+) -> Arc<BranchStudy> {
+    let key = format!(
+        "branch|{target:?}|{:?}|{}",
+        cfg.slice,
+        PreparedBase::base_key(name, cfg),
+    );
+    engine.cached(key, || study(name, cfg, target))
 }
 
 /// Runs branch pre-execution for one benchmark.
 pub fn run_for(name: &str, cfg: &ExpConfig, target: SelectionTarget) -> BranchRow {
+    study(name, cfg, target).row
+}
+
+fn study(name: &str, cfg: &ExpConfig, target: SelectionTarget) -> BranchStudy {
     let program = preexec_workloads::build(name, InputSet::Train)
         .unwrap_or_else(|| panic!("unknown workload {name:?}"));
     let trace = FuncSim::new(&program).run_trace(cfg.trace_cap);
@@ -94,12 +138,11 @@ pub fn run_for(name: &str, cfg: &ExpConfig, target: SelectionTarget) -> BranchRo
         energy: cfg.energy_params(),
         app,
     };
-    let selection =
-        select_branch_pthreads(&inputs, &branches, target, DEFAULT_MISPREDICT_PENALTY);
+    let selection = select_branch_pthreads(&inputs, &branches, target, DEFAULT_MISPREDICT_PENALTY);
     let opt = Simulator::new(&program, cfg.sim)
         .with_pthreads(&selection.pthreads)
         .run();
-    BranchRow {
+    let row = BranchRow {
         bench: name.to_string(),
         base_mispredicts: baseline.mispredicts,
         opt_mispredicts: opt.mispredicts,
@@ -113,13 +156,14 @@ pub fn run_for(name: &str, cfg: &ExpConfig, target: SelectionTarget) -> BranchRo
         energy_save: 100.0
             * (1.0 - opt.total_energy(&cfg.energy) / baseline.total_energy(&cfg.energy)),
         pthreads: selection.pthreads.len(),
-    }
+    };
+    BranchStudy { row, selection }
 }
 
 /// Load-only vs branch-only vs combined pre-execution on one benchmark:
 /// the two mechanisms share thread contexts, fetch bandwidth, and MSHRs,
 /// so their gains need not compose additively.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CombinedRow {
     /// Benchmark name.
     pub bench: String,
@@ -134,55 +178,24 @@ pub struct CombinedRow {
 }
 
 /// Runs the combined study for one benchmark (L-targeted selections).
-pub fn run_combined(name: &str, cfg: &ExpConfig) -> CombinedRow {
-    let prep = crate::Prepared::build(name, cfg);
-    let load_sel = prep.select(SelectionTarget::Latency);
-    let load_rep = prep.run_with(&load_sel);
+/// The load side comes from the engine's (memoized) prepared pipeline and
+/// simulation cache; the branch side reuses the `branch` experiment's
+/// study if it already ran on this engine.
+pub fn run_combined(engine: &Engine, name: &str, cfg: &ExpConfig) -> CombinedRow {
+    let prep = engine.prepared(name, cfg);
+    let load = engine.evaluate(&prep, SelectionTarget::Latency);
+    let study = study_cached(engine, name, cfg, SelectionTarget::Latency);
 
-    let branch_row = run_for(name, cfg, SelectionTarget::Latency);
-
-    // Rebuild the branch selection to get the actual p-threads.
-    let program = preexec_workloads::build(name, InputSet::Train).expect("known workload");
-    let trace = FuncSim::new(&program).run_trace(cfg.trace_cap);
-    let ann = MemAnnotation::compute(&trace, cfg.sim.hierarchy);
-    let profile = Profile::compute(&program, &trace, &ann);
-    let mut branches = problem_branches(&trace, cfg.sim.predictor, 64);
-    branches.truncate(cfg.max_problem_loads);
-    let trees: Vec<SliceTree> = branches
-        .iter()
-        .map(|pb| {
-            SliceTree::build_from_instances(
-                &program,
-                &trace,
-                &profile,
-                pb.pc,
-                &pb.stats.mispredict_seqs,
-                &cfg.slice,
-            )
-        })
-        .collect();
-    let inputs = SelectorInputs {
-        program: &program,
-        profile: &profile,
-        trees: &trees,
-        costs: &[],
-        machine: cfg.machine_params(),
-        energy: cfg.energy_params(),
-        app: prep.app,
-    };
-    let branch_sel =
-        select_branch_pthreads(&inputs, &branches, SelectionTarget::Latency, DEFAULT_MISPREDICT_PENALTY);
-
-    let mut all = load_sel.pthreads.clone();
-    all.extend(branch_sel.pthreads.iter().cloned());
+    let mut all = load.selection.pthreads.clone();
+    all.extend(study.selection.pthreads.iter().cloned());
     let both = Simulator::new(&prep.program, cfg.sim)
         .with_pthreads(&all)
         .run();
     let base = &prep.baseline;
     CombinedRow {
         bench: name.to_string(),
-        load_only: 100.0 * (1.0 - load_rep.cycles as f64 / base.cycles as f64),
-        branch_only: branch_row.ipc_gain,
+        load_only: 100.0 * (1.0 - load.report.cycles as f64 / base.cycles as f64),
+        branch_only: study.row.ipc_gain,
         combined: 100.0 * (1.0 - both.cycles as f64 / base.cycles as f64),
         combined_energy: 100.0
             * (1.0 - both.total_energy(&cfg.energy) / base.total_energy(&cfg.energy)),
@@ -191,16 +204,26 @@ pub fn run_combined(name: &str, cfg: &ExpConfig) -> CombinedRow {
 
 /// The combined study across benchmarks with both miss and mispredict
 /// problems.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Combined {
     /// Per-benchmark rows.
     pub rows: Vec<CombinedRow>,
 }
 
-/// Runs the combined study on the branch-suite benchmarks.
-pub fn run_combined_all(cfg: &ExpConfig) -> Combined {
+impl_json_object!(CombinedRow {
+    bench,
+    load_only,
+    branch_only,
+    combined,
+    combined_energy
+});
+impl_json_object!(Combined { rows });
+
+/// Runs the combined study on the branch-suite benchmarks, one benchmark
+/// per work item.
+pub fn run_combined_all(engine: &Engine, cfg: &ExpConfig) -> Combined {
     Combined {
-        rows: BENCHES.iter().map(|n| run_combined(n, cfg)).collect(),
+        rows: engine.par_map(BENCHES.to_vec(), |n| run_combined(engine, n, cfg)),
     }
 }
 

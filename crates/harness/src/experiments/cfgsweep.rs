@@ -8,14 +8,14 @@
 //! cover a full miss; body caps too small truncate slices below the
 //! distance the tolerance requires.
 
-use crate::{pct, ExpConfig, Prepared, TextTable};
+use crate::{pct, Engine, ExpConfig, TextTable};
+use preexec_json::impl_json_object;
 use preexec_slicer::SliceConfig;
 use pthsel::SelectionTarget;
-use serde::Serialize;
 use std::fmt;
 
 /// One sweep point.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CfgCell {
     /// Benchmark name.
     pub bench: String,
@@ -32,11 +32,21 @@ pub struct CfgCell {
 }
 
 /// The configuration-sensitivity data set.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct CfgSweep {
     /// All sweep points.
     pub cells: Vec<CfgCell>,
 }
+
+impl_json_object!(CfgCell {
+    bench,
+    window,
+    max_body,
+    ipc_gain,
+    coverage,
+    avg_len
+});
+impl_json_object!(CfgSweep { cells });
 
 /// Benchmarks used for the sweep (one shallow-slice, one deep-slice).
 pub const BENCHES: [&str; 2] = ["gap", "bzip2"];
@@ -47,9 +57,11 @@ pub const WINDOWS: [u64; 3] = [256, 2048, 8192];
 /// Body caps swept (default 64).
 pub const BODY_CAPS: [usize; 2] = [12, 64];
 
-/// Runs the sweep.
-pub fn run(cfg: &ExpConfig) -> CfgSweep {
-    let mut cells = Vec::new();
+/// Runs the sweep as one engine grid: every (benchmark, window, body-cap)
+/// point is a work item.
+pub fn run(engine: &Engine, cfg: &ExpConfig) -> CfgSweep {
+    let mut grid: Vec<(&str, ExpConfig)> = Vec::new();
+    let mut knobs = Vec::new();
     for name in BENCHES {
         for &window in &WINDOWS {
             for &max_body in &BODY_CAPS {
@@ -59,21 +71,29 @@ pub fn run(cfg: &ExpConfig) -> CfgSweep {
                     max_body,
                     ..c.slice
                 };
-                let prep = Prepared::build(name, &c);
-                let r = prep.evaluate(SelectionTarget::Latency);
-                let base_misses = prep.baseline.l2_misses_demand.max(1) as f64;
-                cells.push(CfgCell {
-                    bench: name.to_string(),
-                    window,
-                    max_body,
-                    ipc_gain: r.latency_gain_pct(&prep.baseline),
-                    coverage: (r.report.covered_full + r.report.covered_partial) as f64
-                        / base_misses,
-                    avg_len: r.selection.avg_body_len(),
-                });
+                grid.push((name, c));
+                knobs.push((window, max_body));
             }
         }
     }
+    let evals = engine.eval_grid(&grid, &[SelectionTarget::Latency]);
+    let cells = evals
+        .iter()
+        .zip(knobs)
+        .map(|(ev, (window, max_body))| {
+            let prep = &ev.prep;
+            let r = &ev.results[0];
+            let base_misses = prep.baseline.l2_misses_demand.max(1) as f64;
+            CfgCell {
+                bench: prep.name.clone(),
+                window,
+                max_body,
+                ipc_gain: r.latency_gain_pct(&prep.baseline),
+                coverage: (r.report.covered_full + r.report.covered_partial) as f64 / base_misses,
+                avg_len: r.selection.avg_body_len(),
+            }
+        })
+        .collect();
     CfgSweep { cells }
 }
 

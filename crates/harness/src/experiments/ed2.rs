@@ -2,15 +2,15 @@
 //! behave like L-p-threads, that L-p-threads already improve ED² by ~19%
 //! on average, and that retargeting to ED² adds only ~1 point.
 
-use serde::Serialize;
-use crate::experiments::{eval_benchmarks, gmean_pct};
-use crate::{pct, ExpConfig, TextTable};
+use crate::experiments::gmean_pct;
+use crate::{pct, Engine, ExpConfig, TextTable};
+use preexec_json::impl_json_object;
 use preexec_workloads::NAMES;
 use pthsel::SelectionTarget;
 use std::fmt;
 
 /// The ED² comparison data.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Ed2 {
     /// Benchmark names.
     pub benches: Vec<String>,
@@ -20,9 +20,15 @@ pub struct Ed2 {
     pub p2_ed2: Vec<f64>,
 }
 
+impl_json_object!(Ed2 {
+    benches,
+    l_ed2,
+    p2_ed2
+});
+
 /// Runs the comparison across all benchmarks.
-pub fn run(cfg: &ExpConfig) -> Ed2 {
-    let evals = eval_benchmarks(
+pub fn run(engine: &Engine, cfg: &ExpConfig) -> Ed2 {
+    let evals = engine.eval_benchmarks(
         &NAMES,
         cfg,
         &[SelectionTarget::Latency, SelectionTarget::Ed2],

@@ -9,16 +9,16 @@
 //! observation that pre-execution trades L2/mem stall for main-thread
 //! fetch pressure.
 
-use serde::Serialize;
-use crate::experiments::{eval_benchmarks, BenchEval};
-use crate::{ExpConfig, TextTable};
+use crate::experiments::BenchEval;
+use crate::{Engine, ExpConfig, TextTable};
 use preexec_energy::EnergyBreakdown;
+use preexec_json::impl_json_object;
 use preexec_workloads::NAMES;
 use pthsel::SelectionTarget;
 use std::fmt;
 
 /// A five-component latency bar, normalized so that N totals 100.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct LatencyBar {
     /// Fetch bandwidth/latency incl. mispredictions and finite window.
     pub fetch: f64,
@@ -40,7 +40,7 @@ impl LatencyBar {
 }
 
 /// One benchmark's Figure 2 data.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig2Bench {
     /// Benchmark name.
     pub name: String,
@@ -55,15 +55,31 @@ pub struct Fig2Bench {
 }
 
 /// The full Figure 2 data set.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig2 {
     /// Per-benchmark bars.
     pub benches: Vec<Fig2Bench>,
 }
 
+impl_json_object!(LatencyBar {
+    fetch,
+    commit,
+    exec,
+    l2,
+    mem
+});
+impl_json_object!(Fig2Bench {
+    name,
+    lat_n,
+    lat_o,
+    energy_n,
+    energy_o
+});
+impl_json_object!(Fig2 { benches });
+
 /// Runs the experiment (all benchmarks, classic O-p-threads).
-pub fn run(cfg: &ExpConfig) -> Fig2 {
-    let evals = eval_benchmarks(&NAMES, cfg, &[SelectionTarget::Classic]);
+pub fn run(engine: &Engine, cfg: &ExpConfig) -> Fig2 {
+    let evals = engine.eval_benchmarks(&NAMES, cfg, &[SelectionTarget::Classic]);
     from_evals(&evals)
 }
 
@@ -87,9 +103,8 @@ pub fn from_evals(evals: &[BenchEval]) -> Fig2 {
         // Coverage shrinks the memory components; exec/commit carry over;
         // fetch absorbs the rest (p-thread contention).
         let base_misses = ev.prep.baseline.l2_misses_demand.max(1) as f64;
-        let covered = (o.report.covered_full as f64
-            + 0.5 * o.report.covered_partial as f64)
-            .min(base_misses);
+        let covered =
+            (o.report.covered_full as f64 + 0.5 * o.report.covered_partial as f64).min(base_misses);
         let mem_o = lat_n.mem * (1.0 - covered / base_misses);
         let l2_o = lat_n.l2;
         let exec_o = lat_n.exec;

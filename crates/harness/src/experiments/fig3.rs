@@ -4,9 +4,9 @@
 //! (miss coverage, spawn usefulness, p-instruction increase, average
 //! p-thread length).
 
-use serde::Serialize;
-use crate::experiments::{eval_benchmarks, gmean_pct, BenchEval};
-use crate::{num1, pct, ExpConfig, TextTable};
+use crate::experiments::{gmean_pct, BenchEval};
+use crate::{num1, pct, Engine, ExpConfig, TextTable};
+use preexec_json::impl_json_object;
 use preexec_workloads::NAMES;
 use pthsel::SelectionTarget;
 use std::fmt;
@@ -20,7 +20,7 @@ pub const TARGETS: [SelectionTarget; 4] = [
 ];
 
 /// One benchmark × target row of the figure.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Fig3Row {
     /// %IPC (execution-time) gain vs. unoptimized.
     pub ipc_gain: f64,
@@ -41,7 +41,7 @@ pub struct Fig3Row {
 }
 
 /// The full Figure 3 data set.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig3 {
     /// Benchmark names, paper order.
     pub benches: Vec<String>,
@@ -49,9 +49,21 @@ pub struct Fig3 {
     pub rows: Vec<Vec<Fig3Row>>,
 }
 
+impl_json_object!(Fig3Row {
+    ipc_gain,
+    energy_save,
+    ed_save,
+    cov_full,
+    cov_part,
+    usefulness,
+    pinst_increase,
+    avg_len,
+});
+impl_json_object!(Fig3 { benches, rows });
+
 /// Runs the experiment over every benchmark.
-pub fn run(cfg: &ExpConfig) -> Fig3 {
-    from_evals(&eval_benchmarks(&NAMES, cfg, &TARGETS))
+pub fn run(engine: &Engine, cfg: &ExpConfig) -> Fig3 {
+    from_evals(&engine.eval_benchmarks(&NAMES, cfg, &TARGETS))
 }
 
 /// Builds the figure from pre-computed evaluations (shared with Figure 4).
@@ -156,6 +168,10 @@ impl fmt::Display for Fig3 {
                 rows.push((format!("{b}/{}", tg.label()), r.energy_save));
             }
         }
-        writeln!(f, "{}", crate::signed_bars("%energy saved (negative = cost)", &rows, 48))
+        writeln!(
+            f,
+            "{}",
+            crate::signed_bars("%energy saved (negative = cost)", &rows, 48)
+        )
     }
 }

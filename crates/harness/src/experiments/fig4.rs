@@ -3,27 +3,29 @@
 //! realistic (cross-input) profiling instead of the ideal profiling of the
 //! primary study.
 
-use serde::Serialize;
+use crate::experiments::fig3;
 use crate::experiments::fig3::{Fig3, TARGETS};
-use crate::experiments::{eval_benchmarks, fig3};
-use crate::ExpConfig;
+use crate::{Engine, ExpConfig};
+use preexec_json::impl_json_object;
 use preexec_workloads::{InputSet, NAMES};
 use std::fmt;
 
 /// The Figure 4 data: same schema as Figure 3, but with cross-input
 /// profiling.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Fig4 {
     /// The retargeting study under realistic profiling.
     pub realistic: Fig3,
 }
 
+impl_json_object!(Fig4 { realistic });
+
 /// Runs the experiment over every benchmark.
-pub fn run(cfg: &ExpConfig) -> Fig4 {
+pub fn run(engine: &Engine, cfg: &ExpConfig) -> Fig4 {
     let mut cross = *cfg;
     cross.profile_input = InputSet::Ref;
     cross.run_input = InputSet::Train;
-    let evals = eval_benchmarks(&NAMES, &cross, &TARGETS);
+    let evals = engine.eval_benchmarks(&NAMES, &cross, &TARGETS);
     Fig4 {
         realistic: fig3::from_evals(&evals),
     }

@@ -4,9 +4,9 @@
 //! three benchmarks, as in the paper: two representative and one
 //! "interesting".
 
-use serde::Serialize;
-use crate::experiments::{eval_benchmarks, BenchEval};
-use crate::{pct, ExpConfig, TextTable};
+use crate::experiments::BenchEval;
+use crate::{pct, Engine, ExpConfig, TextTable};
+use preexec_json::impl_json_object;
 use pthsel::SelectionTarget;
 use std::fmt;
 
@@ -18,7 +18,7 @@ pub const TARGETS: [SelectionTarget; 3] = [
 ];
 
 /// One (benchmark, parameter-value, target) cell.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SweepCell {
     /// Benchmark name.
     pub bench: String,
@@ -35,7 +35,7 @@ pub struct SweepCell {
 }
 
 /// One sweep (a sub-graph of Figure 5).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Sweep {
     /// Sweep title.
     pub title: String,
@@ -43,8 +43,17 @@ pub struct Sweep {
     pub cells: Vec<SweepCell>,
 }
 
-fn collect(title: &str, param: &str, evals: &[BenchEval], out: &mut Vec<SweepCell>) {
-    let _ = title;
+impl_json_object!(SweepCell {
+    bench,
+    param,
+    target,
+    ipc_gain,
+    energy_save,
+    ed_save
+});
+impl_json_object!(Sweep { title, cells });
+
+fn collect(param: &str, evals: &[BenchEval], out: &mut Vec<SweepCell>) {
     for ev in evals {
         let base = &ev.prep.baseline;
         let ecfg = &ev.prep.cfg.energy;
@@ -61,55 +70,82 @@ fn collect(title: &str, param: &str, evals: &[BenchEval], out: &mut Vec<SweepCel
     }
 }
 
-/// Figure 5 top: idle energy factor ∈ {0%, 5%, 10%} on gap, vortex,
-/// vpr.route.
-pub fn idle_factor_sweep(cfg: &ExpConfig) -> Sweep {
-    let benches = ["gap", "vortex", "vpr.route"];
+/// Runs one sweep as a single engine grid — every (sweep point ×
+/// benchmark × target) cell is one work item, so the whole sub-graph
+/// parallelizes (and, for energy-only sweeps, every point shares one
+/// cached `PreparedCore` per benchmark).
+fn sweep(engine: &Engine, title: &str, benches: &[&str], points: &[(String, ExpConfig)]) -> Sweep {
+    let grid: Vec<(&str, ExpConfig)> = points
+        .iter()
+        .flat_map(|(_, c)| benches.iter().map(move |&b| (b, *c)))
+        .collect();
+    let evals = engine.eval_grid(&grid, &TARGETS);
     let mut cells = Vec::new();
-    for idle in [0.0, 0.05, 0.10] {
-        let mut c = *cfg;
-        c.energy = c.energy.with_idle_factor(idle);
-        let evals = eval_benchmarks(&benches, &c, &TARGETS);
-        collect("idle", &format!("{:.0}%", idle * 100.0), &evals, &mut cells);
+    for ((label, _), chunk) in points.iter().zip(evals.chunks(benches.len())) {
+        collect(label, chunk, &mut cells);
     }
     Sweep {
-        title: "Idle Energy Factor".into(),
+        title: title.into(),
         cells,
     }
+}
+
+/// Figure 5 top: idle energy factor ∈ {0%, 5%, 10%} on gap, vortex,
+/// vpr.route. The sweep only perturbs energy constants, so all three
+/// points reuse one cached pipeline per benchmark.
+pub fn idle_factor_sweep(engine: &Engine, cfg: &ExpConfig) -> Sweep {
+    let points: Vec<(String, ExpConfig)> = [0.0, 0.05, 0.10]
+        .iter()
+        .map(|&idle| {
+            let mut c = *cfg;
+            c.energy = c.energy.with_idle_factor(idle);
+            (format!("{:.0}%", idle * 100.0), c)
+        })
+        .collect();
+    sweep(
+        engine,
+        "Idle Energy Factor",
+        &["gap", "vortex", "vpr.route"],
+        &points,
+    )
 }
 
 /// Figure 5 middle: memory latency ∈ {100, 200, 300} on gcc, twolf,
 /// vortex.
-pub fn mem_latency_sweep(cfg: &ExpConfig) -> Sweep {
-    let benches = ["gcc", "twolf", "vortex"];
-    let mut cells = Vec::new();
-    for lat in [100u64, 200, 300] {
-        let mut c = *cfg;
-        c.sim = c.sim.with_mem_latency(lat);
-        let evals = eval_benchmarks(&benches, &c, &TARGETS);
-        collect("mem", &format!("{lat}"), &evals, &mut cells);
-    }
-    Sweep {
-        title: "Memory Latency".into(),
-        cells,
-    }
+pub fn mem_latency_sweep(engine: &Engine, cfg: &ExpConfig) -> Sweep {
+    let points: Vec<(String, ExpConfig)> = [100u64, 200, 300]
+        .iter()
+        .map(|&lat| {
+            let mut c = *cfg;
+            c.sim = c.sim.with_mem_latency(lat);
+            (format!("{lat}"), c)
+        })
+        .collect();
+    sweep(
+        engine,
+        "Memory Latency",
+        &["gcc", "twolf", "vortex"],
+        &points,
+    )
 }
 
 /// Figure 5 bottom: L2 size/latency ∈ {128KB/10, 256KB/12, 512KB/15} on
 /// mcf, twolf, vortex.
-pub fn l2_sweep(cfg: &ExpConfig) -> Sweep {
-    let benches = ["mcf", "twolf", "vortex"];
-    let mut cells = Vec::new();
-    for (size_kb, lat) in [(128u64, 10u64), (256, 12), (512, 15)] {
-        let mut c = *cfg;
-        c.sim = c.sim.with_l2(size_kb * 1024, lat);
-        let evals = eval_benchmarks(&benches, &c, &TARGETS);
-        collect("l2", &format!("{size_kb}KB({lat})"), &evals, &mut cells);
-    }
-    Sweep {
-        title: "L2 Cache Size (Latency)".into(),
-        cells,
-    }
+pub fn l2_sweep(engine: &Engine, cfg: &ExpConfig) -> Sweep {
+    let points: Vec<(String, ExpConfig)> = [(128u64, 10u64), (256, 12), (512, 15)]
+        .iter()
+        .map(|&(size_kb, lat)| {
+            let mut c = *cfg;
+            c.sim = c.sim.with_l2(size_kb * 1024, lat);
+            (format!("{size_kb}KB({lat})"), c)
+        })
+        .collect();
+    sweep(
+        engine,
+        "L2 Cache Size (Latency)",
+        &["mcf", "twolf", "vortex"],
+        &points,
+    )
 }
 
 impl fmt::Display for Sweep {

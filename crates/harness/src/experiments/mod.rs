@@ -22,11 +22,12 @@ pub mod fig5;
 pub mod tab12;
 pub mod tab3;
 
-use crate::{ExpConfig, Prepared, TargetResult};
+use crate::{Prepared, TargetResult};
 use pthsel::SelectionTarget;
 
 /// Everything evaluated for one benchmark: the prepared pipeline plus one
-/// result per requested target.
+/// result per requested target. Produced by [`crate::Engine::eval_benchmarks`]
+/// and [`crate::Engine::eval_grid`].
 #[derive(Clone, Debug)]
 pub struct BenchEval {
     /// The prepared pipeline (baseline included).
@@ -40,18 +41,6 @@ impl BenchEval {
     pub fn result(&self, target: SelectionTarget) -> Option<&TargetResult> {
         self.results.iter().find(|r| r.target == target)
     }
-}
-
-/// Prepares and evaluates `names` × `targets` under `cfg`.
-pub fn eval_benchmarks(names: &[&str], cfg: &ExpConfig, targets: &[SelectionTarget]) -> Vec<BenchEval> {
-    names
-        .iter()
-        .map(|name| {
-            let prep = Prepared::build(name, cfg);
-            let results = targets.iter().map(|&t| prep.evaluate(t)).collect();
-            BenchEval { prep, results }
-        })
-        .collect()
 }
 
 /// Geometric mean of `1 + x/100` percentages, returned as a percentage.

@@ -3,21 +3,22 @@
 //! p-thread (a two-level-unrolled composite p-thread of ~5 instructions,
 //! 100 triggers, 40 covered misses).
 
-use serde::Serialize;
 use crate::{ExpConfig, TextTable};
 use preexec_critpath::LoadCost;
 use preexec_isa::{AluOp, Inst, Reg};
-use pthsel::{
-    AppParams, Candidate, CompositeModel, EnergyModel, LatencyModel, MissCostModel,
-};
+use preexec_json::impl_json_object;
+use pthsel::{AppParams, Candidate, CompositeModel, EnergyModel, LatencyModel, MissCostModel};
 use std::fmt;
 
 /// The worked-example evaluation of every equation in Tables 1 and 2.
-#[derive(Clone, Debug, Serialize)]
+/// Pure equation evaluation — the only experiment that needs no engine.
+#[derive(Clone, Debug)]
 pub struct Tab12 {
     /// (equation, value, unit) rows.
     pub rows: Vec<(String, f64, &'static str)>,
 }
+
+impl_json_object!(Tab12 { rows });
 
 /// Builds the Figure 1-style candidate: `i += 2`, two field loads, two
 /// copies of the target load (merged composite ≈ 5 instructions).
@@ -113,7 +114,12 @@ pub fn run(cfg: &ExpConfig) -> Tab12 {
     rows.push(("E2: EREDagg(p)".into(), em.ered_agg(ladv), "max-E units"));
     let eadv = em.eadv_agg(&c, ladv);
     rows.push(("E1: EADVagg(p)".into(), eadv, "max-E units"));
-    for (label, w) in [("W=1 (latency)", 1.0), ("W=0.5 (ED)", 0.5), ("W=0.67 (ED2)", 0.67), ("W=0 (energy)", 0.0)] {
+    for (label, w) in [
+        ("W=1 (latency)", 1.0),
+        ("W=0.5 (ED)", 0.5),
+        ("W=0.67 (ED2)", 0.67),
+        ("W=0 (energy)", 0.0),
+    ] {
         let comp = CompositeModel::new(app, w);
         rows.push((
             format!("C1: CADVagg(p) {label}"),

@@ -3,8 +3,8 @@
 //! against the *measured* (simulated) reductions. Ratios near 1 mean the
 //! model is accurate; below 1 means over-estimation.
 
-use serde::Serialize;
-use crate::{ratio, ExpConfig, Prepared, TextTable};
+use crate::{ratio, Engine, ExpConfig, TextTable};
+use preexec_json::impl_json_object;
 use pthsel::SelectionTarget;
 use std::fmt;
 
@@ -12,7 +12,7 @@ use std::fmt;
 pub const BENCHES: [&str; 4] = ["gcc", "parser", "vortex", "vpr.place"];
 
 /// One benchmark's validation ratios.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Tab3Row {
     /// `(Lbase − Lpe) / LADVagg`.
     pub latency: f64,
@@ -23,7 +23,7 @@ pub struct Tab3Row {
 }
 
 /// The validation table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Tab3 {
     /// Benchmark names.
     pub benches: Vec<String>,
@@ -31,18 +31,26 @@ pub struct Tab3 {
     pub rows: Vec<Tab3Row>,
 }
 
+impl_json_object!(Tab3Row {
+    latency,
+    energy,
+    ed
+});
+impl_json_object!(Tab3 { benches, rows });
+
 /// Runs the validation for the paper's four benchmarks.
-pub fn run(cfg: &ExpConfig) -> Tab3 {
-    run_for(&BENCHES, cfg)
+pub fn run(engine: &Engine, cfg: &ExpConfig) -> Tab3 {
+    run_for(engine, &BENCHES, cfg)
 }
 
 /// Runs the validation for arbitrary benchmarks.
-pub fn run_for(names: &[&str], cfg: &ExpConfig) -> Tab3 {
+pub fn run_for(engine: &Engine, names: &[&str], cfg: &ExpConfig) -> Tab3 {
     let mut benches = Vec::new();
     let mut rows = Vec::new();
-    for name in names {
-        let prep = Prepared::build(name, cfg);
-        let res = prep.evaluate(SelectionTarget::Latency);
+    for ev in engine.eval_benchmarks(names, cfg, &[SelectionTarget::Latency]) {
+        let name = ev.prep.name.clone();
+        let prep = &ev.prep;
+        let res = &ev.results[0];
         let base = &prep.baseline;
         let ecfg = &cfg.energy;
 
@@ -52,9 +60,8 @@ pub fn run_for(names: &[&str], cfg: &ExpConfig) -> Tab3 {
         let pred_e = res.selection.predicted_eadv;
         let actual_p = base.ed(ecfg) - res.report.ed(ecfg);
         // Predicted ED advantage: P0 − (L0−LADV)(E0−EADV).
-        let pred_p = prep.app.l0 * prep.app.e0
-            - (prep.app.l0 - pred_l) * (prep.app.e0 - pred_e);
-        benches.push(name.to_string());
+        let pred_p = prep.app.l0 * prep.app.e0 - (prep.app.l0 - pred_l) * (prep.app.e0 - pred_e);
+        benches.push(name);
         // A prediction smaller than 0.5% of the baseline quantity has no
         // meaningful ratio (tiny denominators explode); report NaN and
         // render "n/a", as validation only makes sense for loads the model
@@ -78,11 +85,11 @@ fn safe_ratio(actual: f64, predicted: f64, floor: f64) -> f64 {
 
 impl fmt::Display for Tab3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Table 3: PTHSEL+E model validation (actual / predicted)\n")?;
-        let mut t = TextTable::new(vec![
-            "validation".into(),
-            "expression".into(),
-        ]);
+        writeln!(
+            f,
+            "Table 3: PTHSEL+E model validation (actual / predicted)\n"
+        )?;
+        let mut t = TextTable::new(vec!["validation".into(), "expression".into()]);
         let _ = &mut t;
         let mut t = TextTable::new({
             let mut h = vec!["ratio".into()];

@@ -1,18 +1,24 @@
 //! # preexec-harness
 //!
-//! The experiment driver: prepares the full analysis pipeline per
-//! benchmark ([`Prepared`]), evaluates each selection target, and
-//! regenerates every table and figure of the paper's evaluation section
-//! (see the `experiments` module and the `repro` binary).
+//! The experiment driver: an [`Engine`] that prepares the full analysis
+//! pipeline per benchmark ([`Prepared`]) on a work pool with a memoized
+//! artifact cache and per-stage [`Metrics`], evaluates each selection
+//! target, and regenerates every table and figure of the paper's
+//! evaluation section (see the `experiments` module and the `repro`
+//! binary).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod chart;
+mod engine;
 pub mod experiments;
+pub mod metrics;
 mod setup;
 mod table;
 
 pub use chart::{signed_bars, stacked_bars};
-pub use setup::{ExpConfig, Prepared, TargetResult};
+pub use engine::{Engine, THREADS_ENV};
+pub use metrics::{Metrics, Stage};
+pub use setup::{ExpConfig, Prepared, PreparedBase, PreparedCore, TargetResult};
 pub use table::{num1, pct, ratio, TextTable};

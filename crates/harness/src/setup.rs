@@ -1,6 +1,16 @@
 //! End-to-end experiment preparation: trace → profile → slice trees →
 //! critical-path cost functions → baseline simulation, per benchmark.
+//!
+//! Preparation is split in two so the engine can memoize it: a
+//! [`PreparedCore`] holds every artifact that is *independent of the
+//! energy constants* (trace-derived profile, slice trees, cost functions,
+//! baseline timing run) and is cached under [`PreparedCore::structural_key`];
+//! [`Prepared`] wraps an `Arc<PreparedCore>` with the full config and the
+//! (cheap, energy-dependent) application parameters. Sweeps that only
+//! perturb energy constants or selection weights therefore reuse the
+//! expensive artifacts.
 
+use crate::metrics::{Metrics, Stage};
 use preexec_critpath::{Breakdown, CritPathConfig, CritPathModel, LoadCost};
 use preexec_energy::EnergyConfig;
 use preexec_isa::Program;
@@ -90,15 +100,120 @@ impl ExpConfig {
     }
 }
 
-/// Everything needed to select and evaluate p-threads for one benchmark
-/// under one configuration.
+/// The artifacts of one benchmark's preparation that are independent of
+/// *both* the energy constants and the slicing knobs: profiling trace
+/// statistics, critical-path cost functions, and the baseline timing run.
+/// The engine caches it under [`PreparedBase::base_key`], so slice-knob
+/// sweeps (which rebuild trees) still share the expensive critical-path
+/// and baseline work.
 #[derive(Clone, Debug)]
-pub struct Prepared {
+pub struct PreparedBase {
     /// Benchmark name.
     pub name: String,
-    /// Configuration used.
-    pub cfg: ExpConfig,
-    /// The binary that runs (built for `cfg.run_input`).
+    /// The binary that was profiled (built for the profile input).
+    profile_prog: Program,
+    /// The binary that runs (built for the run input).
+    pub program: Program,
+    /// Per-PC profile mined from the profiling run.
+    pub profile: Profile,
+    /// PCs of the problem loads, in selection order.
+    problem_pcs: Vec<u32>,
+    /// Criticality-based cost functions of the problem loads.
+    pub costs: Vec<LoadCost>,
+    /// Critical-path breakdown of the unoptimized profiling run.
+    pub cp_breakdown: Breakdown,
+    /// Unoptimized timing-simulator baseline (on the run input).
+    pub baseline: SimReport,
+    /// Critical-path IPC estimate (fallback for unfinished baselines).
+    cp_ipc: f64,
+}
+
+impl PreparedBase {
+    /// Builds the slice-independent pipeline for `name` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a known workload.
+    pub fn build_metered(name: &str, cfg: &ExpConfig, metrics: Option<&Metrics>) -> PreparedBase {
+        // A no-op sink keeps the hot path free of Option checks.
+        let fallback = Metrics::new();
+        let m = metrics.unwrap_or(&fallback);
+
+        let (profile_prog, run_prog) = m.time(Stage::WorkloadBuild, || {
+            let p = preexec_workloads::build(name, cfg.profile_input)
+                .unwrap_or_else(|| panic!("unknown workload {name:?}"));
+            let r = preexec_workloads::build(name, cfg.run_input).expect("same registry");
+            (p, r)
+        });
+
+        // Profiling pass (functional trace + cache annotation).
+        let trace = m.time(Stage::Trace, || {
+            FuncSim::new(&profile_prog).run_trace(cfg.trace_cap)
+        });
+        m.add_trace_insts(trace.len() as u64);
+        let (ann, profile) = m.time(Stage::Profile, || {
+            let ann = MemAnnotation::compute(&trace, cfg.sim.hierarchy);
+            let profile = Profile::compute(&profile_prog, &trace, &ann);
+            (ann, profile)
+        });
+
+        // Problem loads.
+        let min_misses = ((profile.total_l2_misses() as f64 * cfg.problem_frac) as u64).max(64);
+        let mut probs = profile.problem_loads(&profile_prog, min_misses);
+        probs.truncate(cfg.max_problem_loads);
+        let problem_pcs: Vec<u32> = probs.iter().map(|pl| pl.pc).collect();
+
+        // Criticality cost functions.
+        let (costs, cp_breakdown, cp_ipc) = m.time(Stage::Critpath, || {
+            let cp = CritPathModel::new(&trace, &ann, cfg.critpath_config());
+            let costs: Vec<LoadCost> = problem_pcs.iter().map(|&pc| cp.load_cost(pc)).collect();
+            (costs, cp.breakdown(), cp.ipc())
+        });
+
+        // Baseline timing run on the run input.
+        let baseline = m.time(Stage::BaselineSim, || {
+            Simulator::new(&run_prog, cfg.sim).run()
+        });
+        m.add_sim_cycles(baseline.cycles);
+
+        PreparedBase {
+            name: name.to_string(),
+            profile_prog,
+            program: run_prog,
+            profile,
+            problem_pcs,
+            costs,
+            cp_breakdown,
+            baseline,
+            cp_ipc,
+        }
+    }
+
+    /// The engine's base-layer cache key: [`PreparedCore::structural_key`]
+    /// minus `cfg.slice` — slicing knobs reshape the trees but not these
+    /// artifacts.
+    pub fn base_key(name: &str, cfg: &ExpConfig) -> String {
+        format!(
+            "{name}|{:?}|{:?}|{:?}|{}|{}|{}",
+            cfg.sim,
+            cfg.profile_input,
+            cfg.run_input,
+            cfg.trace_cap,
+            cfg.problem_frac,
+            cfg.max_problem_loads,
+        )
+    }
+}
+
+/// The energy-independent artifacts of one benchmark's preparation. This
+/// is the expensive ~99% of [`Prepared::build`]; the engine caches it by
+/// [`PreparedCore::structural_key`] and shares it across threads behind an
+/// `Arc`.
+#[derive(Clone, Debug)]
+pub struct PreparedCore {
+    /// Benchmark name.
+    pub name: String,
+    /// The binary that runs (built for the run input).
     pub program: Program,
     /// Per-PC profile mined from the profiling run.
     pub profile: Profile,
@@ -108,65 +223,150 @@ pub struct Prepared {
     pub costs: Vec<LoadCost>,
     /// Critical-path breakdown of the unoptimized profiling run.
     pub cp_breakdown: Breakdown,
-    /// Unoptimized timing-simulator baseline (on `run_input`).
+    /// Unoptimized timing-simulator baseline (on the run input).
     pub baseline: SimReport,
-    /// Application parameters measured from the baseline.
+    /// Critical-path IPC estimate (fallback for unfinished baselines).
+    cp_ipc: f64,
+}
+
+impl PreparedCore {
+    /// Builds the energy-independent pipeline for `name` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a known workload.
+    pub fn build(name: &str, cfg: &ExpConfig) -> PreparedCore {
+        PreparedCore::build_metered(name, cfg, None)
+    }
+
+    /// [`PreparedCore::build`] with per-stage wall-clock and counters
+    /// recorded into `metrics`.
+    pub fn build_metered(name: &str, cfg: &ExpConfig, metrics: Option<&Metrics>) -> PreparedCore {
+        let base = PreparedBase::build_metered(name, cfg, metrics);
+        PreparedCore::from_base_metered(&base, cfg, metrics)
+    }
+
+    /// Finishes a (possibly cache-served) [`PreparedBase`] for `cfg`'s
+    /// slicing knobs: replays the (cheap, deterministic) profiling trace
+    /// and builds the slice trees. Everything else is cloned from `base`,
+    /// so two cores finished from one base are bit-identical outside their
+    /// trees.
+    pub fn from_base_metered(
+        base: &PreparedBase,
+        cfg: &ExpConfig,
+        metrics: Option<&Metrics>,
+    ) -> PreparedCore {
+        let fallback = Metrics::new();
+        let m = metrics.unwrap_or(&fallback);
+
+        // Slicing needs the raw trace, which the base layer does not keep
+        // (it would dominate cache memory). Replaying it is a tiny
+        // fraction of the critpath + baseline work the base layer saves.
+        let trace = m.time(Stage::Trace, || {
+            FuncSim::new(&base.profile_prog).run_trace(cfg.trace_cap)
+        });
+        let ann = m.time(Stage::Profile, || {
+            MemAnnotation::compute(&trace, cfg.sim.hierarchy)
+        });
+        let trees: Vec<SliceTree> = m.time(Stage::Slice, || {
+            base.problem_pcs
+                .iter()
+                .map(|&pc| {
+                    SliceTree::build(
+                        &base.profile_prog,
+                        &trace,
+                        &ann,
+                        &base.profile,
+                        pc,
+                        &cfg.slice,
+                    )
+                })
+                .collect()
+        });
+        m.add_slice_nodes(trees.iter().map(|t| t.len() as u64).sum());
+
+        PreparedCore {
+            name: base.name.clone(),
+            program: base.program.clone(),
+            profile: base.profile.clone(),
+            trees,
+            costs: base.costs.clone(),
+            cp_breakdown: base.cp_breakdown,
+            baseline: base.baseline.clone(),
+            cp_ipc: base.cp_ipc,
+        }
+    }
+
+    /// The engine's cache key: every configuration field that shapes these
+    /// artifacts. `cfg.energy` is deliberately excluded — energy constants
+    /// only affect selection and accounting, so energy sweeps share one
+    /// core.
+    pub fn structural_key(name: &str, cfg: &ExpConfig) -> String {
+        format!(
+            "{name}|{:?}|{:?}|{:?}|{}|{:?}|{}|{}",
+            cfg.sim,
+            cfg.profile_input,
+            cfg.run_input,
+            cfg.trace_cap,
+            cfg.slice,
+            cfg.problem_frac,
+            cfg.max_problem_loads,
+        )
+    }
+}
+
+/// Everything needed to select and evaluate p-threads for one benchmark
+/// under one configuration. Dereferences to its [`PreparedCore`], so the
+/// shared artifacts read like plain fields (`prep.baseline`, `prep.trees`).
+#[derive(Clone, Debug)]
+pub struct Prepared {
+    /// The shared energy-independent artifacts.
+    pub core: std::sync::Arc<PreparedCore>,
+    /// Configuration used (including energy constants).
+    pub cfg: ExpConfig,
+    /// Application parameters measured from the baseline under
+    /// `cfg.energy`.
     pub app: AppParams,
 }
 
+impl std::ops::Deref for Prepared {
+    type Target = PreparedCore;
+
+    fn deref(&self) -> &PreparedCore {
+        &self.core
+    }
+}
+
 impl Prepared {
-    /// Builds the full analysis pipeline for `name` under `cfg`.
+    /// Builds the full analysis pipeline for `name` under `cfg`, without
+    /// caching. The engine's `prepared` is the memoized equivalent.
     ///
     /// # Panics
     ///
     /// Panics if `name` is not a known workload.
     pub fn build(name: &str, cfg: &ExpConfig) -> Prepared {
-        let profile_prog = preexec_workloads::build(name, cfg.profile_input)
-            .unwrap_or_else(|| panic!("unknown workload {name:?}"));
-        let run_prog = preexec_workloads::build(name, cfg.run_input).expect("same registry");
+        Prepared::from_core(std::sync::Arc::new(PreparedCore::build(name, cfg)), cfg)
+    }
 
-        // Profiling pass (functional trace + cache annotation).
-        let trace = FuncSim::new(&profile_prog).run_trace(cfg.trace_cap);
-        let ann = MemAnnotation::compute(&trace, cfg.sim.hierarchy);
-        let profile = Profile::compute(&profile_prog, &trace, &ann);
-
-        // Problem loads.
-        let min_misses =
-            ((profile.total_l2_misses() as f64 * cfg.problem_frac) as u64).max(64);
-        let mut probs = profile.problem_loads(&profile_prog, min_misses);
-        probs.truncate(cfg.max_problem_loads);
-
-        // Slice trees + criticality cost functions.
-        let trees: Vec<SliceTree> = probs
-            .iter()
-            .map(|pl| SliceTree::build(&profile_prog, &trace, &ann, &profile, pl.pc, &cfg.slice))
-            .collect();
-        let cp = CritPathModel::new(&trace, &ann, cfg.critpath_config());
-        let costs: Vec<LoadCost> = probs.iter().map(|pl| cp.load_cost(pl.pc)).collect();
-        let cp_breakdown = cp.breakdown();
-        let cp_ipc = cp.ipc();
-        drop(cp);
-
-        // Baseline timing run on the run input.
-        let baseline = Simulator::new(&run_prog, cfg.sim).run();
-        let l0 = baseline.cycles as f64;
-        let e0 = baseline.total_energy(&cfg.energy);
+    /// Finishes a cached core for `cfg`: recomputes the (cheap)
+    /// energy-dependent application parameters.
+    pub fn from_core(core: std::sync::Arc<PreparedCore>, cfg: &ExpConfig) -> Prepared {
+        let l0 = core.baseline.cycles as f64;
+        let e0 = core.baseline.total_energy(&cfg.energy);
         let app = AppParams {
             l0,
             e0,
             // BWSEQmt: the unoptimized IPC. Measured from the baseline when
             // available; the critical-path estimate is the fallback.
-            bw_seq_mt: if baseline.finished { baseline.ipc() } else { cp_ipc },
+            bw_seq_mt: if core.baseline.finished {
+                core.baseline.ipc()
+            } else {
+                core.cp_ipc
+            },
         };
         Prepared {
-            name: name.to_string(),
+            core,
             cfg: *cfg,
-            program: run_prog,
-            profile,
-            trees,
-            costs,
-            cp_breakdown,
-            baseline,
             app,
         }
     }

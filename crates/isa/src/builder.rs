@@ -69,7 +69,12 @@ impl ProgramBuilder {
 
     /// Emits `dst = op(src1, src2)`.
     pub fn alu(&mut self, op: AluOp, dst: Reg, src1: Reg, src2: Reg) -> &mut Self {
-        self.push(Inst::Alu { op, dst, src1, src2 })
+        self.push(Inst::Alu {
+            op,
+            dst,
+            src1,
+            src2,
+        })
     }
 
     /// Emits `dst = op(src1, imm)`.

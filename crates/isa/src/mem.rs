@@ -130,6 +130,9 @@ mod tests {
     fn collect_and_extend() {
         let mut img: MemImage = [(0u64, 1u64), (8, 2)].into_iter().collect();
         img.extend([(16u64, 3u64)]);
-        assert_eq!(img.iter().collect::<Vec<_>>(), vec![(0, 1), (8, 2), (16, 3)]);
+        assert_eq!(
+            img.iter().collect::<Vec<_>>(),
+            vec![(0, 1), (8, 2), (16, 3)]
+        );
     }
 }

@@ -40,7 +40,10 @@ impl std::error::Error for ParseAsmError {}
 /// assert_eq!(i.to_string(), "ld r4, -16(r9)");
 /// ```
 pub fn parse_inst(text: &str) -> Result<Inst, ParseAsmError> {
-    let err = |m: String| ParseAsmError { line: 0, message: m };
+    let err = |m: String| ParseAsmError {
+        line: 0,
+        message: m,
+    };
     let text = text.trim();
     let (mnemonic, rest) = match text.split_once(' ') {
         Some((m, r)) => (m, r.trim()),
@@ -60,7 +63,8 @@ pub fn parse_inst(text: &str) -> Result<Inst, ParseAsmError> {
         Ok(Reg::new(idx))
     };
     let imm = |s: &str| -> Result<i64, ParseAsmError> {
-        s.parse::<i64>().map_err(|_| err(format!("bad immediate {s:?}")))
+        s.parse::<i64>()
+            .map_err(|_| err(format!("bad immediate {s:?}")))
     };
     let target = |s: &str| -> Result<Pc, ParseAsmError> {
         s.strip_prefix('@')
@@ -79,7 +83,9 @@ pub fn parse_inst(text: &str) -> Result<Inst, ParseAsmError> {
     };
     // `off(base)` memory operand.
     let mem = |s: &str| -> Result<(Reg, i64), ParseAsmError> {
-        let open = s.find('(').ok_or_else(|| err(format!("bad memory operand {s:?}")))?;
+        let open = s
+            .find('(')
+            .ok_or_else(|| err(format!("bad memory operand {s:?}")))?;
         let close = s
             .strip_suffix(')')
             .ok_or_else(|| err(format!("bad memory operand {s:?}")))?;

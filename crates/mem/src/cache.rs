@@ -43,7 +43,10 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (sizes not powers of two, or
     /// capacity not divisible by `line_bytes * assoc`).
     pub fn new(size_bytes: u64, line_bytes: u64, assoc: u32, latency: u64) -> CacheConfig {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc >= 1, "associativity must be at least 1");
         let cfg = CacheConfig {
             size_bytes,
@@ -253,10 +256,7 @@ impl Cache {
         let (set, tag) = (self.cfg.set_index(addr), self.cfg.tag(addr));
         // Already present (e.g. racing fills): refresh ready time only if
         // the new fill completes earlier.
-        if let Some(line) = self.sets[set]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
             line.ready_at = line.ready_at.min(ready_at);
             line.lru = tick;
             return None;
@@ -264,8 +264,7 @@ impl Cache {
         let way = self.victim_way(set);
         let line = &mut self.sets[set][way];
         let evicted = if line.valid {
-            let victim_addr =
-                (line.tag * self.cfg.num_sets() + set as u64) * self.cfg.line_bytes;
+            let victim_addr = (line.tag * self.cfg.num_sets() + set as u64) * self.cfg.line_bytes;
             let e = Evicted {
                 line_addr: victim_addr,
                 dirty: line.dirty,
@@ -294,10 +293,7 @@ impl Cache {
     /// No-op if the line is absent.
     pub fn set_installer(&mut self, addr: u64, installer: Installer) {
         let (set, tag) = (self.cfg.set_index(addr), self.cfg.tag(addr));
-        if let Some(line) = self.sets[set]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
             line.installer = installer;
         }
     }
@@ -306,10 +302,7 @@ impl Cache {
     /// No-op if the line is absent.
     pub fn mark_dirty(&mut self, addr: u64) {
         let (set, tag) = (self.cfg.set_index(addr), self.cfg.tag(addr));
-        if let Some(line) = self.sets[set]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
             line.dirty = true;
         }
     }
@@ -317,10 +310,7 @@ impl Cache {
     /// Invalidates the line containing `addr`, if present.
     pub fn invalidate(&mut self, addr: u64) {
         let (set, tag) = (self.cfg.set_index(addr), self.cfg.tag(addr));
-        if let Some(line) = self.sets[set]
-            .iter_mut()
-            .find(|l| l.valid && l.tag == tag)
-        {
+        if let Some(line) = self.sets[set].iter_mut().find(|l| l.valid && l.tag == tag) {
             line.valid = false;
         }
     }

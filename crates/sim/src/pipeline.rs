@@ -149,7 +149,7 @@ pub struct Simulator<'p> {
     bodies: Vec<Vec<Inst>>,
     body_hints: Vec<Option<(Pc, u64)>>, // (branch, lookahead) per body
     branch_hints: HashMap<Pc, HashMap<u64, bool>>, // pc -> occurrence -> outcome
-    branch_decoded: HashMap<Pc, u64>, // correct-path decode counts per branch
+    branch_decoded: HashMap<Pc, u64>,   // correct-path decode counts per branch
 
     report: SimReport,
     /// Cycle at which measurement started (after warm-up).
@@ -219,6 +219,7 @@ impl<'p> Simulator<'p> {
     /// cap, returning the report. The simulator remains inspectable (e.g.
     /// [`Simulator::spec_regs`]) after the run.
     pub fn run(&mut self) -> SimReport {
+        let start = std::time::Instant::now();
         while !self.report.finished && self.cycle < self.cfg.max_cycles {
             self.cycle += 1;
             self.handle_redirect();
@@ -229,6 +230,7 @@ impl<'p> Simulator<'p> {
             self.fetch_main(used_fetch);
         }
         self.report.cycles = self.cycle - self.measure_from;
+        self.report.wall_nanos = start.elapsed().as_nanos() as u64;
         self.report.clone()
     }
 
@@ -530,7 +532,9 @@ impl<'p> Simulator<'p> {
         }
         let mut addr = 0;
         let value = match inst {
-            Inst::Alu { op, src1, src2, .. } => op.apply(read(&ctx.regs, src1), read(&ctx.regs, src2)),
+            Inst::Alu { op, src1, src2, .. } => {
+                op.apply(read(&ctx.regs, src1), read(&ctx.regs, src2))
+            }
             Inst::AluImm { op, src1, imm, .. } => op.apply(read(&ctx.regs, src1), imm as u64),
             Inst::LoadImm { imm, .. } => imm as u64,
             Inst::Load { base, offset, .. } => {
@@ -579,12 +583,7 @@ impl<'p> Simulator<'p> {
         }
     }
 
-    fn spawn_with(
-        &mut self,
-        body_idx: usize,
-        wrong_path: bool,
-        regs: [u64; NUM_ARCH_REGS],
-    ) {
+    fn spawn_with(&mut self, body_idx: usize, wrong_path: bool, regs: [u64; NUM_ARCH_REGS]) {
         self.report.spawns += 1;
         if wrong_path {
             self.report.spawns_wrong_path += 1;
@@ -596,8 +595,7 @@ impl<'p> Simulator<'p> {
         let body = self.bodies[body_idx].clone();
         // Fetch energy: p-threads sequence from the instruction cache in
         // processor-width blocks (equation E5).
-        self.report.counts.imem_pth +=
-            (body.len() as u64).div_ceil(self.cfg.fetch_width as u64);
+        self.report.counts.imem_pth += (body.len() as u64).div_ceil(self.cfg.fetch_width as u64);
         self.contexts[slot] = Some(PthreadCtx {
             body,
             next: 0,
@@ -624,7 +622,10 @@ impl<'p> Simulator<'p> {
         if self.branch_decoded.get(&bpc).copied().unwrap_or(0) >= occ {
             return;
         }
-        if let Some(Inst::Branch { cond, src1, src2, .. }) = self.program.get(bpc) {
+        if let Some(Inst::Branch {
+            cond, src1, src2, ..
+        }) = self.program.get(bpc)
+        {
             let read = |r: Reg| if r.is_zero() { 0 } else { ctx.regs[r.index()] };
             let taken = cond.eval(read(*src1), read(*src2));
             let q = self.branch_hints.entry(bpc).or_default();
@@ -708,7 +709,12 @@ impl<'p> Simulator<'p> {
         if !f.wrong_path {
             // Functional, in-order execution (the reference semantics).
             match inst {
-                Inst::Alu { op, dst, src1, src2 } => {
+                Inst::Alu {
+                    op,
+                    dst,
+                    src1,
+                    src2,
+                } => {
                     let v = op.apply(self.spec_reg(src1), self.spec_reg(src2));
                     self.spec_write(dst, v, id);
                 }
@@ -836,14 +842,8 @@ impl<'p> Simulator<'p> {
                         .iter()
                         .filter(|e| e.pc == pc && !e.wrong_path)
                         .count() as u64;
-                    let occ = self.branch_decoded.get(&pc).copied().unwrap_or(0)
-                        + in_buf
-                        + 1;
-                    match self
-                        .branch_hints
-                        .get_mut(&pc)
-                        .and_then(|m| m.remove(&occ))
-                    {
+                    let occ = self.branch_decoded.get(&pc).copied().unwrap_or(0) + in_buf + 1;
+                    match self.branch_hints.get_mut(&pc).and_then(|m| m.remove(&occ)) {
                         Some(h) => {
                             self.report.hints_used += 1;
                             (h, true)
@@ -1108,7 +1108,10 @@ mod tests {
         // Noisy branches generate wrong-path fetch; Commit spawning must
         // show zero wrong-path spawns while Decode spawning shows some.
         let mut b = ProgramBuilder::new("wp");
-        b.li(r(1), 0x9e3779b9).li(r(2), 0).li(r(3), 1500).li(r(9), 0x100000);
+        b.li(r(1), 0x9e3779b9)
+            .li(r(2), 0)
+            .li(r(3), 1500)
+            .li(r(9), 0x100000);
         b.label("top");
         b.muli(r(1), r(1), 6364136223846793005);
         b.addi(r(1), r(1), 1442695040888963407);
@@ -1122,8 +1125,17 @@ mod tests {
         b.halt();
         let p = b.build();
         let body = vec![
-            Inst::AluImm { op: AluOp::Add, dst: r(2), src1: r(2), imm: 4 },
-            Inst::Load { dst: r(6), base: r(9), offset: 0 },
+            Inst::AluImm {
+                op: AluOp::Add,
+                dst: r(2),
+                src1: r(2),
+                imm: 4,
+            },
+            Inst::Load {
+                dst: r(6),
+                base: r(9),
+                offset: 0,
+            },
         ];
         let pt = PThread {
             trigger_pc: 10,
@@ -1146,7 +1158,10 @@ mod tests {
         let commit = Simulator::new(&p, cfg)
             .with_pthreads(std::slice::from_ref(&pt))
             .run();
-        assert!(decode.spawns_wrong_path > 0, "decode spawning sees wrong paths");
+        assert!(
+            decode.spawns_wrong_path > 0,
+            "decode spawning sees wrong paths"
+        );
         assert_eq!(commit.spawns_wrong_path, 0, "commit spawning cannot");
         assert!(commit.finished && decode.finished);
     }
@@ -1171,10 +1186,29 @@ mod tests {
         b.halt();
         let p = b.build();
         let body = vec![
-            Inst::AluImm { op: AluOp::Add, dst: r(2), src1: r(2), imm: 4 },
-            Inst::AluImm { op: AluOp::Mul, dst: r(4), src1: r(2), imm: 4160 },
-            Inst::Alu { op: AluOp::Add, dst: r(4), src1: r(4), src2: r(1) },
-            Inst::Load { dst: r(5), base: r(4), offset: 0 },
+            Inst::AluImm {
+                op: AluOp::Add,
+                dst: r(2),
+                src1: r(2),
+                imm: 4,
+            },
+            Inst::AluImm {
+                op: AluOp::Mul,
+                dst: r(4),
+                src1: r(2),
+                imm: 4160,
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                dst: r(4),
+                src1: r(4),
+                src2: r(1),
+            },
+            Inst::Load {
+                dst: r(5),
+                base: r(4),
+                offset: 0,
+            },
         ];
         let pt = PThread {
             trigger_pc: 31,

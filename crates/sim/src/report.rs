@@ -1,12 +1,12 @@
 //! Simulation results.
 
-use serde::{Deserialize, Serialize};
 use preexec_energy::{AccessCounts, EnergyBreakdown, EnergyConfig};
+use preexec_json::{Json, ToJson};
 
 /// Everything a run of the timing simulator produces: cycle count,
 /// architectural progress, pre-execution diagnostics, structure-access
 /// counts, and predictor accuracy.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SimReport {
     /// Simulated cycles until the program's `halt` committed.
     pub cycles: u64,
@@ -44,6 +44,11 @@ pub struct SimReport {
     pub counts: AccessCounts,
     /// `true` if the run ended by committing `halt` (vs. the cycle cap).
     pub finished: bool,
+    /// Host wall-clock nanoseconds the simulation took — the per-stage
+    /// observability hook the experiment engine aggregates. Excluded from
+    /// the JSON form (and so from golden snapshots): it varies run to run
+    /// while every simulated quantity above is deterministic.
+    pub wall_nanos: u64,
 }
 
 impl SimReport {
@@ -93,6 +98,59 @@ impl SimReport {
     pub fn ed2(&self, cfg: &EnergyConfig) -> f64 {
         self.ed(cfg) * self.cycles as f64
     }
+
+    /// Rebuilds a report from its JSON form. Missing numeric fields read
+    /// as 0 and `finished` as `false`; `wall_nanos` is never serialized
+    /// and always reads back 0.
+    pub fn from_json(j: &Json) -> SimReport {
+        let g = |k: &str| j.get(k).and_then(Json::as_u64).unwrap_or(0);
+        SimReport {
+            cycles: g("cycles"),
+            committed: g("committed"),
+            pinsts: g("pinsts"),
+            spawns: g("spawns"),
+            spawns_dropped: g("spawns_dropped"),
+            spawns_wrong_path: g("spawns_wrong_path"),
+            l2_misses_demand: g("l2_misses_demand"),
+            covered_full: g("covered_full"),
+            covered_partial: g("covered_partial"),
+            mispredicts: g("mispredicts"),
+            branches: g("branches"),
+            hints_used: g("hints_used"),
+            hints_correct: g("hints_correct"),
+            max_pthread_pregs: g("max_pthread_pregs"),
+            counts: j
+                .get("counts")
+                .map(AccessCounts::from_json)
+                .unwrap_or_default(),
+            finished: j.get("finished").and_then(Json::as_bool).unwrap_or(false),
+            wall_nanos: 0,
+        }
+    }
+}
+
+impl ToJson for SimReport {
+    /// Every deterministic simulated quantity, in declaration order;
+    /// `wall_nanos` is deliberately omitted (see its field docs).
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("cycles", self.cycles)
+            .with("committed", self.committed)
+            .with("pinsts", self.pinsts)
+            .with("spawns", self.spawns)
+            .with("spawns_dropped", self.spawns_dropped)
+            .with("spawns_wrong_path", self.spawns_wrong_path)
+            .with("l2_misses_demand", self.l2_misses_demand)
+            .with("covered_full", self.covered_full)
+            .with("covered_partial", self.covered_partial)
+            .with("mispredicts", self.mispredicts)
+            .with("branches", self.branches)
+            .with("hints_used", self.hints_used)
+            .with("hints_correct", self.hints_correct)
+            .with("max_pthread_pregs", self.max_pthread_pregs)
+            .with("counts", self.counts)
+            .with("finished", self.finished)
+    }
 }
 
 #[cfg(test)]
@@ -130,10 +188,24 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let r = report();
-        let s = serde_json::to_string(&r).unwrap();
-        let back: SimReport = serde_json::from_str(&s).unwrap();
+        let s = r.to_json().to_string();
+        let back = SimReport::from_json(&preexec_json::parse(&s).unwrap());
         assert_eq!(back.cycles, r.cycles);
         assert_eq!(back.covered_full, r.covered_full);
+        assert_eq!(back.counts, r.counts);
+        assert_eq!(back.finished, r.finished);
+    }
+
+    #[test]
+    fn wall_nanos_is_not_serialized() {
+        let mut r = report();
+        r.wall_nanos = 12345;
+        let s = r.to_json().to_string();
+        assert!(!s.contains("wall_nanos"), "{s}");
+        assert_eq!(
+            SimReport::from_json(&preexec_json::parse(&s).unwrap()).wall_nanos,
+            0
+        );
     }
 
     #[test]

@@ -42,10 +42,7 @@ impl MemAnnotation {
                 served[e.seq as usize] = Some(acc.served);
             }
         }
-        MemAnnotation {
-            served,
-            cfg,
-        }
+        MemAnnotation { served, cfg }
     }
 
     /// The hierarchy configuration the annotation was computed against.

@@ -152,7 +152,12 @@ impl<'p> FuncSim<'p> {
         }
         let mut next_pc = pc + 1;
         match inst {
-            Inst::Alu { op, dst, src1, src2 } => {
+            Inst::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
                 let v = op.apply(self.reg(src1), self.reg(src2));
                 self.write_reg(dst, v, seq);
             }

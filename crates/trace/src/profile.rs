@@ -134,9 +134,7 @@ impl Profile {
             .per_pc
             .iter()
             .enumerate()
-            .filter(|(pc, s)| {
-                s.l2_misses >= min_misses.max(1) && program.inst(*pc as Pc).is_load()
-            })
+            .filter(|(pc, s)| s.l2_misses >= min_misses.max(1) && program.inst(*pc as Pc).is_load())
             .map(|(pc, s)| ProblemLoad {
                 pc: pc as Pc,
                 execs: s.execs,
@@ -218,7 +216,9 @@ mod tests {
     fn totals_are_consistent() {
         let (p, prof) = profile_of(50);
         assert!(prof.total_insts() > 0);
-        let sum: u64 = (0..p.len() as Pc).map(|pc| prof.pc_stats(pc).l2_misses).sum();
+        let sum: u64 = (0..p.len() as Pc)
+            .map(|pc| prof.pc_stats(pc).l2_misses)
+            .sum();
         assert_eq!(sum, prof.total_l2_misses());
     }
 

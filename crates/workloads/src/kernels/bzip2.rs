@@ -66,7 +66,10 @@ pub fn build(input: InputSet) -> Program {
         Reg::new(9),
     );
     let (q, f2) = (Reg::new(10), Reg::new(11));
-    b.li(i, 0).li(n, p.iters).li(ib, idx_base as i64).li(db, data_base as i64);
+    b.li(i, 0)
+        .li(n, p.iters)
+        .li(ib, idx_base as i64)
+        .li(db, data_base as i64);
     b.li(sum, 0).li(acc, 1).li(q, 1);
     b.label("loop");
     // A 1-instruction value recurrence woven into the address slice: it
@@ -83,10 +86,10 @@ pub fn build(input: InputSet) -> Program {
     b.xor(j, j, f2); // block-sort bucket rotation (depends on q)
     b.add(j, j, db);
     b.ld(v, j, 0); // v = data[j]         <- problem load
-    // Compression-flavoured ALU work (Huffman/MTF-like integer mixing):
-    // gives the loop a realistic compute-to-miss ratio so the critical
-    // path is only partly memory and p-thread bandwidth contention is
-    // visible.
+                   // Compression-flavoured ALU work (Huffman/MTF-like integer mixing):
+                   // gives the loop a realistic compute-to-miss ratio so the critical
+                   // path is only partly memory and p-thread bandwidth contention is
+                   // visible.
     b.add(sum, sum, v);
     b.xor(acc, acc, sum);
     crate::util::emit_work(&mut b, [acc, sum, v], 22);

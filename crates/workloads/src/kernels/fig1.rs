@@ -59,7 +59,10 @@ pub fn build(input: InputSet) -> Program {
         Reg::new(7),
         Reg::new(8),
     );
-    b.li(i, 0).li(n, N_XACT).li(xact, xact_base as i64).li(rx, rx_base as i64);
+    b.li(i, 0)
+        .li(n, N_XACT)
+        .li(xact, xact_base as i64)
+        .li(rx, rx_base as i64);
     b.li(receipts, 0);
     b.label("loop");
     b.muli(rec, i, (XACT_WORDS * 8) as i64);
@@ -116,10 +119,7 @@ mod tests {
     fn problem_load_executes_roughly_80_times() {
         let p = build(InputSet::Train);
         let t = FuncSim::new(&p).run_trace(1_000_000);
-        let count = t
-            .iter()
-            .filter(|e| e.pc == problem_load_pc())
-            .count();
+        let count = t.iter().filter(|e| e.pc == problem_load_pc()).count();
         // ~80% of 100 iterations, allow statistical slack.
         assert!((60..=95).contains(&count), "count = {count}");
     }

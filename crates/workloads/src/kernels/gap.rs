@@ -76,7 +76,7 @@ pub fn build(input: InputSet) -> Program {
     b.xor(j, j, f2);
     b.add(j, j, t);
     b.ld(v, j, 0); // v = tbl[hash(i,q)]  <- problem load (all-ALU slice)
-    // Group-theory flavoured work on the fetched element.
+                   // Group-theory flavoured work on the fetched element.
     b.add(sum, sum, v);
     b.xor(w1, w1, v);
     crate::util::emit_work(&mut b, [w1, w2, sum], 20);

@@ -74,7 +74,7 @@ pub fn build(input: InputSet) -> Program {
     b.ld(e, e, 0); // e = entries[i]  (sequential, L1-resident)
     b.andi(k, e, 1); // flag bit
     b.shri(j, e, 1); // byte offset into cold arrays
-    // Hot access: a 4 KiB table that stays L1-resident.
+                     // Hot access: a 4 KiB table that stays L1-resident.
     b.andi(v, e, 0xff8);
     b.add(v, v, hb);
     b.ld(v, v, 0); // hot-table load (rarely a problem)

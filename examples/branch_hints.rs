@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example branch_hints [benchmark]`
 //! (default benchmark: parser)
 
-use preexec::harness::{experiments::branch, ExpConfig};
+use preexec::harness::{experiments::branch, Engine, ExpConfig};
 use preexec::pthsel::SelectionTarget;
 
 fn main() {
@@ -32,7 +32,7 @@ fn main() {
          argument for why branch p-threads are an energy technique."
     );
     println!("\nload + branch p-threads combined:");
-    let c = branch::run_combined(&bench, &cfg);
+    let c = branch::run_combined(&Engine::from_env(), &bench, &cfg);
     println!(
         "  load-only {:+.1}%  branch-only {:+.1}%  combined {:+.1}% IPC",
         c.load_only, c.branch_only, c.combined

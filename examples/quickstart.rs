@@ -7,7 +7,9 @@
 
 use preexec::critpath::{CritPathConfig, CritPathModel, LoadCost};
 use preexec::isa::{ProgramBuilder, Reg};
-use preexec::pthsel::{select, AppParams, EnergyParams, MachineParams, SelectionTarget, SelectorInputs};
+use preexec::pthsel::{
+    select, AppParams, EnergyParams, MachineParams, SelectionTarget, SelectorInputs,
+};
 use preexec::sim::{SimConfig, Simulator};
 use preexec::slicer::{SliceConfig, SliceTree};
 use preexec::trace::{FuncSim, MemAnnotation, Profile};
@@ -50,7 +52,16 @@ fn main() {
     // 2. Slice + criticality-based cost functions.
     let trees: Vec<SliceTree> = problems
         .iter()
-        .map(|pl| SliceTree::build(&program, &trace, &ann, &profile, pl.pc, &SliceConfig::default()))
+        .map(|pl| {
+            SliceTree::build(
+                &program,
+                &trace,
+                &ann,
+                &profile,
+                pl.pc,
+                &SliceConfig::default(),
+            )
+        })
         .collect();
     let cp = CritPathModel::new(&trace, &ann, CritPathConfig::default());
     let costs: Vec<LoadCost> = problems.iter().map(|pl| cp.load_cost(pl.pc)).collect();
@@ -80,7 +91,12 @@ fn main() {
         selection.avg_body_len()
     );
     for p in &selection.pthreads {
-        println!("  trigger pc {} -> {} insts, targets {:?}", p.trigger_pc, p.body.len(), p.targets);
+        println!(
+            "  trigger pc {} -> {} insts, targets {:?}",
+            p.trigger_pc,
+            p.body.len(),
+            p.targets
+        );
     }
 
     let optimized = Simulator::new(&program, sim_cfg)

@@ -27,8 +27,19 @@ fn main() {
     );
 
     // (b) the static slice tree with DCptcm / DCtrig annotations.
-    let tree = SliceTree::build(&program, &trace, &ann, &profile, root, &SliceConfig::default());
-    println!("\nslice tree (Figure 1b): {} nodes, {} sliced misses", tree.len(), tree.total_misses());
+    let tree = SliceTree::build(
+        &program,
+        &trace,
+        &ann,
+        &profile,
+        root,
+        &SliceConfig::default(),
+    );
+    println!(
+        "\nslice tree (Figure 1b): {} nodes, {} sliced misses",
+        tree.len(),
+        tree.total_misses()
+    );
     for n in tree.iter_preorder().take(16) {
         println!(
             "  {:indent$}pc {:3} {:<22} DCptcm {:4}  DCtrig {:4}{}",
@@ -37,7 +48,11 @@ fn main() {
             n.inst.to_string(),
             n.dc_ptcm,
             n.dc_trig,
-            if n.children.len() > 1 { "  <- fork" } else { "" },
+            if n.children.len() > 1 {
+                "  <- fork"
+            } else {
+                ""
+            },
             indent = n.depth as usize
         );
     }
@@ -72,7 +87,11 @@ fn main() {
     let optimized: Vec<_> = linear.iter().map(|b| collapse_inductions(b)).collect();
     println!("\noptimized linear p-threads (Figure 1d):");
     for (k, body) in optimized.iter().enumerate() {
-        println!("  p-thread {k}: {} -> {} insts", linear[k].len(), body.len());
+        println!(
+            "  p-thread {k}: {} -> {} insts",
+            linear[k].len(),
+            body.len()
+        );
         for inst in body {
             println!("    {inst}");
         }
@@ -80,7 +99,10 @@ fn main() {
 
     // (e) composite merge.
     let composite = merge_bodies(&optimized);
-    println!("\nmerged composite p-thread (Figure 1e), {} insts:", composite.len());
+    println!(
+        "\nmerged composite p-thread (Figure 1e), {} insts:",
+        composite.len()
+    );
     for inst in &composite {
         println!("    {inst}");
     }

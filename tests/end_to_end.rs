@@ -103,7 +103,11 @@ fn selected_pthreads_respect_ddmt_restrictions() {
     let cfg = ExpConfig::default();
     for name in preexec::workloads::NAMES {
         let prep = Prepared::build(name, &cfg);
-        for target in [SelectionTarget::Classic, SelectionTarget::Latency, SelectionTarget::Ed] {
+        for target in [
+            SelectionTarget::Classic,
+            SelectionTarget::Latency,
+            SelectionTarget::Ed,
+        ] {
             let sel = prep.select(target);
             for p in &sel.pthreads {
                 assert!(!p.body.is_empty());
@@ -112,7 +116,10 @@ fn selected_pthreads_respect_ddmt_restrictions() {
                     "{name}/{target}: body must be control-less and store-less"
                 );
                 assert!(p.body.last().unwrap().is_load());
-                assert!(p.body.len() <= 2 * cfg.slice.max_body, "{name} body too long");
+                assert!(
+                    p.body.len() <= 2 * cfg.slice.max_body,
+                    "{name} body too long"
+                );
                 assert!(!p.targets.is_empty());
             }
         }
@@ -126,7 +133,11 @@ fn train_and_ref_share_code() {
     for name in preexec::workloads::NAMES {
         let train = build(name, InputSet::Train).unwrap();
         let reference = build(name, InputSet::Ref).unwrap();
-        assert_eq!(train.insts(), reference.insts(), "{name} code must not vary");
+        assert_eq!(
+            train.insts(),
+            reference.insts(),
+            "{name} code must not vary"
+        );
     }
 }
 

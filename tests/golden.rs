@@ -1,0 +1,62 @@
+//! Golden-snapshot regression tests: the engine-driven experiments must
+//! reproduce `repro --json` output byte-for-byte.
+//!
+//! The snapshots under `tests/golden/` were generated with
+//! `repro --json <exp> > tests/golden/<exp>.json` (see EXPERIMENTS.md for
+//! the refresh workflow). Because the whole pipeline is deterministic —
+//! seeded workloads, deterministic simulator, insertion-ordered JSON —
+//! any diff here is a real behavior change, not noise.
+
+use preexec::harness::{experiments, Engine, ExpConfig};
+use preexec_json::{jobj, ToJson};
+use std::sync::OnceLock;
+
+/// One engine shared by every test in this binary, so the default-config
+/// cores built for fig2 are cache hits for fig5a (exactly as in
+/// `repro all`). Sharing must not change results; the byte-comparison
+/// below is what proves that.
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(Engine::from_env)
+}
+
+fn assert_golden(id: &str, data: preexec_json::Json, want: &str) {
+    let line = jobj! { "experiment" => id, "data" => data }.to_string();
+    assert_eq!(
+        line,
+        want.trim_end(),
+        "{id} drifted from tests/golden/{id}.json — if the change is \
+         intentional, regenerate with `cargo run --release -p \
+         preexec-harness --bin repro -- --json {id} > tests/golden/{id}.json`"
+    );
+}
+
+#[test]
+fn tab12_matches_golden() {
+    let cfg = ExpConfig::default();
+    assert_golden(
+        "tab12",
+        experiments::tab12::run(&cfg).to_json(),
+        include_str!("golden/tab12.json"),
+    );
+}
+
+#[test]
+fn fig2_matches_golden() {
+    let cfg = ExpConfig::default();
+    assert_golden(
+        "fig2",
+        experiments::fig2::run(engine(), &cfg).to_json(),
+        include_str!("golden/fig2.json"),
+    );
+}
+
+#[test]
+fn fig5a_matches_golden() {
+    let cfg = ExpConfig::default();
+    assert_golden(
+        "fig5a",
+        experiments::fig5::idle_factor_sweep(engine(), &cfg).to_json(),
+        include_str!("golden/fig5a.json"),
+    );
+}

@@ -1,66 +1,67 @@
-//! Property-based tests on cross-crate invariants.
+//! Property-based tests on cross-crate invariants, including the
+//! experiment engine's caching and parallelism invariants. Uses the
+//! in-tree `preexec-prop` harness (seeded cases, failure seed reporting).
 
 use preexec::critpath::{longest_path, CritPathConfig, NodeInput};
 use preexec::energy::{AccessCounts, EnergyBreakdown, EnergyConfig};
+use preexec::harness::{Engine, ExpConfig, Prepared};
 use preexec::isa::{AluOp, Inst, ProgramBuilder, Reg};
 use preexec::mem::{Cache, CacheConfig, Installer, Lookup};
-use preexec::pthsel::{AppParams, CompositeModel};
+use preexec::pthsel::{AppParams, CompositeModel, SelectionTarget};
 use preexec::sim::{SimConfig, Simulator};
 use preexec::slicer::collapse_inductions;
 use preexec::trace::FuncSim;
-use proptest::prelude::*;
+use preexec_json::ToJson;
+use preexec_prop::{run_cases, Gen};
 
-/// Strategy: a random straight-line program over a few registers,
-/// touching a small memory region, ending in `halt`.
-fn straight_line_program() -> impl Strategy<Value = Vec<Inst>> {
-    let reg = 1u8..8;
-    let op = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Xor),
-        Just(AluOp::And),
-        Just(AluOp::Shr),
+/// A random straight-line program over a few registers, touching a small
+/// memory region (instructions only; `halt` is appended by the caller).
+fn straight_line_program(g: &mut Gen) -> Vec<Inst> {
+    const OPS: [AluOp; 6] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Xor,
+        AluOp::And,
+        AluOp::Shr,
     ];
-    let inst = prop_oneof![
-        (op.clone(), reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(op, d, a, b)| Inst::Alu {
-                op,
-                dst: Reg::new(d),
-                src1: Reg::new(a),
-                src2: Reg::new(b),
-            }),
-        (op, reg.clone(), reg.clone(), -64i64..64).prop_map(|(op, d, a, imm)| Inst::AluImm {
-            op,
-            dst: Reg::new(d),
-            src1: Reg::new(a),
-            imm,
-        }),
-        (reg.clone(), -1000i64..1000).prop_map(|(d, imm)| Inst::LoadImm {
-            dst: Reg::new(d),
-            imm,
-        }),
-        (reg.clone(), reg.clone(), 0i64..256).prop_map(|(d, b, off)| Inst::Load {
-            dst: Reg::new(d),
-            base: Reg::new(b),
-            offset: off & !7,
-        }),
-        (reg.clone(), reg, 0i64..256).prop_map(|(s, b, off)| Inst::Store {
-            src: Reg::new(s),
-            base: Reg::new(b),
-            offset: off & !7,
-        }),
-    ];
-    prop::collection::vec(inst, 1..120)
+    let reg = |g: &mut Gen| Reg::new(g.u64(1, 8) as u8);
+    g.vec(1, 120, |g| match g.u64(0, 5) {
+        0 => Inst::Alu {
+            op: *g.choose(&OPS),
+            dst: reg(g),
+            src1: reg(g),
+            src2: reg(g),
+        },
+        1 => Inst::AluImm {
+            op: *g.choose(&OPS),
+            dst: reg(g),
+            src1: reg(g),
+            imm: g.i64(-64, 64),
+        },
+        2 => Inst::LoadImm {
+            dst: reg(g),
+            imm: g.i64(-1000, 1000),
+        },
+        3 => Inst::Load {
+            dst: reg(g),
+            base: reg(g),
+            offset: g.i64(0, 256) & !7,
+        },
+        _ => Inst::Store {
+            src: reg(g),
+            base: reg(g),
+            offset: g.i64(0, 256) & !7,
+        },
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The timing simulator's architectural outcome equals the functional
-    /// simulator's on arbitrary straight-line programs.
-    #[test]
-    fn timing_equals_functional_on_random_programs(insts in straight_line_program()) {
+/// The timing simulator's architectural outcome equals the functional
+/// simulator's on arbitrary straight-line programs.
+#[test]
+fn timing_equals_functional_on_random_programs() {
+    run_cases(64, |g| {
+        let insts = straight_line_program(g);
         let mut b = ProgramBuilder::new("prop");
         for i in &insts {
             b.push(*i);
@@ -71,41 +72,45 @@ proptest! {
         fsim.run(10_000);
         let mut tsim = Simulator::new(&program, SimConfig::default());
         let rep = tsim.run();
-        prop_assert!(rep.finished);
-        prop_assert_eq!(rep.committed, fsim.retired());
-        prop_assert_eq!(tsim.spec_regs(), fsim.reg_file());
-    }
+        assert!(rep.finished);
+        assert_eq!(rep.committed, fsim.retired());
+        assert_eq!(tsim.spec_regs(), fsim.reg_file());
+    });
+}
 
-    /// Induction collapsing preserves the final architectural effect of a
-    /// p-thread body on the register file (when run standalone).
-    #[test]
-    fn collapse_preserves_body_semantics(
-        steps in prop::collection::vec(1i64..5, 1..12),
-        start in 0i64..100,
-    ) {
-        // Body: a run of self-updates interleaved with nothing else.
+/// Induction collapsing preserves the final architectural effect of a
+/// p-thread body on the register file (when run standalone).
+#[test]
+fn collapse_preserves_body_semantics() {
+    run_cases(64, |g| {
+        let steps = g.vec(1, 12, |g| g.i64(1, 5));
         let r = Reg::new(1);
         let body: Vec<Inst> = steps
             .iter()
-            .map(|&k| Inst::AluImm { op: AluOp::Add, dst: r, src1: r, imm: k })
+            .map(|&k| Inst::AluImm {
+                op: AluOp::Add,
+                dst: r,
+                src1: r,
+                imm: k,
+            })
             .collect();
         let collapsed = collapse_inductions(&body);
-        prop_assert_eq!(collapsed.len(), 1);
+        assert_eq!(collapsed.len(), 1);
         let total: i64 = steps.iter().sum();
         match collapsed[0] {
-            Inst::AluImm { imm, .. } => prop_assert_eq!(imm, total),
-            ref other => prop_assert!(false, "unexpected {other:?}"),
+            Inst::AluImm { imm, .. } => assert_eq!(imm, total),
+            ref other => panic!("unexpected {other:?}"),
         }
-        let _ = start;
-    }
+    });
+}
 
-    /// Critical-path invariants: the breakdown sums to the total, and the
-    /// path length never increases when any single latency decreases.
-    #[test]
-    fn critpath_breakdown_sums_and_is_monotone(
-        lats in prop::collection::vec(1u64..50, 2..40),
-        shrink_at in 0usize..40,
-    ) {
+/// Critical-path invariants: the breakdown sums to the total, and the
+/// path length never increases when any single latency decreases.
+#[test]
+fn critpath_breakdown_sums_and_is_monotone() {
+    run_cases(64, |g| {
+        let lats = g.vec(2, 40, |g| g.u64(1, 50));
+        let shrink_at = g.usize(0, 40);
         let mut b = ProgramBuilder::new("chain");
         let r = Reg::new(1);
         b.li(r, 0);
@@ -126,38 +131,41 @@ proptest! {
             })
             .collect();
         let base = longest_path(&trace, &inputs, &cfg);
-        prop_assert!((base.breakdown.total() - base.cycles as f64).abs() < 1e-6);
+        assert!((base.breakdown.total() - base.cycles as f64).abs() < 1e-6);
         let mut cheaper = inputs.clone();
         let k = shrink_at % cheaper.len();
         cheaper[k].latency = 1;
         let reduced = longest_path(&trace, &cheaper, &cfg);
-        prop_assert!(reduced.cycles <= base.cycles);
-    }
+        assert!(reduced.cycles <= base.cycles);
+    });
+}
 
-    /// Cache invariant: immediately after a fill, the line hits; filling
-    /// never makes an unrelated set's lines disappear.
-    #[test]
-    fn cache_fill_then_hit(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// Cache invariant: immediately after a fill, the line hits; filling
+/// never makes an unrelated set's lines disappear.
+#[test]
+fn cache_fill_then_hit() {
+    run_cases(64, |g| {
+        let addrs = g.vec(1, 200, |g| g.u64(0, 1_000_000));
         let mut c = Cache::new(CacheConfig::new(4096, 64, 4, 1));
         for (t, &a) in addrs.iter().enumerate() {
             let now = t as u64;
             if let Lookup::Miss = c.access(a, now) {
                 c.fill(a, now, Installer::Main);
             }
-            // The just-touched line must be present.
-            let hit = matches!(c.probe(a, now), Lookup::Hit { .. });
-            prop_assert!(hit);
+            assert!(matches!(c.probe(a, now), Lookup::Hit { .. }));
         }
-        let s = c.stats();
-        prop_assert_eq!(s.accesses(), addrs.len() as u64);
-    }
+        assert_eq!(c.stats().accesses(), addrs.len() as u64);
+    });
+}
 
-    /// Energy accounting is linear: doubling all counts and cycles doubles
-    /// every component.
-    #[test]
-    fn energy_is_linear(
-        d in 0u64..10_000, l2 in 0u64..10_000, cyc in 1u64..100_000,
-    ) {
+/// Energy accounting is linear: doubling all counts and cycles doubles
+/// every component.
+#[test]
+fn energy_is_linear() {
+    run_cases(64, |g| {
+        let d = g.u64(0, 10_000);
+        let l2 = g.u64(0, 10_000);
+        let cyc = g.u64(1, 100_000);
         let cfg = EnergyConfig::default();
         let counts = AccessCounts {
             dispatch_main: d,
@@ -175,37 +183,67 @@ proptest! {
         };
         let a = EnergyBreakdown::compute(&counts, cyc, &cfg);
         let b = EnergyBreakdown::compute(&twice, 2 * cyc, &cfg);
-        prop_assert!((b.total() - 2.0 * a.total()).abs() < 1e-6);
-    }
-
-    /// Composite advantages collapse to their pure components at the
-    /// boundary weights for arbitrary baselines and advantages.
-    #[test]
-    fn composite_boundaries(
-        l0 in 1.0e4f64..1.0e8, e0 in 1.0e3f64..1.0e7,
-        ladv in -1.0e4f64..1.0e4, eadv in -1.0e3f64..1.0e3,
-    ) {
-        let app = AppParams { l0, e0, bw_seq_mt: 1.0 };
-        let lat = CompositeModel::new(app, 1.0).cadv_agg(ladv, eadv);
-        let en = CompositeModel::new(app, 0.0).cadv_agg(ladv, eadv);
-        prop_assert!((lat - ladv).abs() < 1e-6 * l0.max(ladv.abs()));
-        prop_assert!((en - eadv).abs() < 1e-6 * e0.max(eadv.abs()));
-        // ED advantage is bounded by the best of an ideal trade.
-        let ed = CompositeModel::new(app, 0.5).cadv_agg(ladv, eadv);
-        prop_assert!(ed.is_finite());
-    }
+        assert!((b.total() - 2.0 * a.total()).abs() < 1e-6);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Total energy of any run is monotone (non-decreasing) in the idle
+/// energy factor — the invariant behind the Figure 5a sweep.
+#[test]
+fn total_energy_is_monotone_in_idle_factor() {
+    run_cases(64, |g| {
+        let counts = AccessCounts {
+            dispatch_main: g.u64(0, 50_000),
+            l2_main: g.u64(0, 5_000),
+            alu_main: g.u64(0, 25_000),
+            dmem_main: g.u64(0, 20_000),
+            rob_bpred: g.u64(0, 50_000),
+            ..AccessCounts::new()
+        };
+        let cycles = g.u64(1, 200_000);
+        let lo = g.f64(0.0, 0.2);
+        let hi = lo + g.f64(0.0, 0.2);
+        let base = EnergyConfig::default();
+        let e_lo = EnergyBreakdown::compute(&counts, cycles, &base.with_idle_factor(lo)).total();
+        let e_hi = EnergyBreakdown::compute(&counts, cycles, &base.with_idle_factor(hi)).total();
+        assert!(
+            e_hi >= e_lo - 1e-9,
+            "idle {lo} -> {e_lo}, idle {hi} -> {e_hi}"
+        );
+    });
+}
 
-    /// Backward slices are dependence-closed within the window: every
-    /// register producer of a slice member that lies inside the window is
-    /// itself in the slice (unless the length cap truncated it).
-    #[test]
-    fn slices_are_dependence_closed(seed in 0u64..500) {
+/// Composite advantages collapse to their pure components at the
+/// boundary weights for arbitrary baselines and advantages.
+#[test]
+fn composite_boundaries() {
+    run_cases(64, |g| {
+        let l0 = g.f64(1.0e4, 1.0e8);
+        let e0 = g.f64(1.0e3, 1.0e7);
+        let ladv = g.f64(-1.0e4, 1.0e4);
+        let eadv = g.f64(-1.0e3, 1.0e3);
+        let app = AppParams {
+            l0,
+            e0,
+            bw_seq_mt: 1.0,
+        };
+        let lat = CompositeModel::new(app, 1.0).cadv_agg(ladv, eadv);
+        let en = CompositeModel::new(app, 0.0).cadv_agg(ladv, eadv);
+        assert!((lat - ladv).abs() < 1e-6 * l0.max(ladv.abs()));
+        assert!((en - eadv).abs() < 1e-6 * e0.max(eadv.abs()));
+        let ed = CompositeModel::new(app, 0.5).cadv_agg(ladv, eadv);
+        assert!(ed.is_finite());
+    });
+}
+
+/// Backward slices are dependence-closed within the window: every
+/// register producer of a slice member that lies inside the window is
+/// itself in the slice (unless the length cap truncated it).
+#[test]
+fn slices_are_dependence_closed() {
+    run_cases(32, |g| {
         use preexec::slicer::{backward_slice, SliceConfig};
-        // A little program with interleaved chains, parameterized by seed.
+        let seed = g.u64(0, 500);
         let mut b = ProgramBuilder::new("closure");
         let (a, c, d) = (Reg::new(1), Reg::new(2), Reg::new(3));
         b.li(a, seed as i64);
@@ -222,53 +260,125 @@ proptest! {
         let program = b.build();
         let trace = FuncSim::new(&program).run_trace(1000);
         let target = trace.len() as u64 - 2; // the load
-        let cfg = SliceConfig { window: 1000, max_body: 64, ..SliceConfig::default() };
+        let cfg = SliceConfig {
+            window: 1000,
+            max_body: 64,
+            ..SliceConfig::default()
+        };
         let slice = backward_slice(&trace, target, &cfg);
-        prop_assert_eq!(slice[0], target);
+        assert_eq!(slice[0], target);
         let set: std::collections::HashSet<u64> = slice.iter().copied().collect();
         if slice.len() < cfg.max_body {
             for &s in &slice {
                 for dep in trace.event(s).src_deps.iter().flatten() {
-                    prop_assert!(set.contains(dep), "producer {} of {} missing", dep, s);
+                    assert!(set.contains(dep), "producer {} of {} missing", dep, s);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Predictor state machines never panic and accuracy on a constant
-    /// stream converges to ~100%.
-    #[test]
-    fn predictor_converges_on_constant_streams(pc in 0u32..10_000, dir in proptest::bool::ANY) {
+/// Predictor state machines never panic and accuracy on a constant
+/// stream converges to ~100%.
+#[test]
+fn predictor_converges_on_constant_streams() {
+    run_cases(32, |g| {
         use preexec::bpred::{HybridPredictor, PredictorConfig};
+        let pc = g.u64(0, 10_000) as u32;
+        let dir = g.bool();
         let mut p = HybridPredictor::new(PredictorConfig::default());
         for _ in 0..64 {
             p.update(pc, dir);
         }
-        prop_assert_eq!(p.predict(pc), dir);
-    }
+        assert_eq!(p.predict(pc), dir);
+    });
+}
 
-    /// Every generated instruction round-trips through the disassembler
-    /// and the text assembler.
-    #[test]
-    fn asm_text_round_trips(insts in straight_line_program()) {
+/// Every generated instruction round-trips through the disassembler
+/// and the text assembler.
+#[test]
+fn asm_text_round_trips() {
+    run_cases(32, |g| {
         use preexec::isa::parse_inst;
-        for inst in insts {
+        for inst in straight_line_program(g) {
             let text = inst.to_string();
             let back = parse_inst(&text);
-            prop_assert_eq!(back.as_ref(), Ok(&inst), "text was {}", text);
+            assert_eq!(back.as_ref(), Ok(&inst), "text was {}", text);
         }
-    }
+    });
+}
 
-    /// TLBs never miss on a working set within capacity after warm-up.
-    #[test]
-    fn tlb_capacity_invariant(pages in 1usize..8, rounds in 2u64..6) {
+/// TLBs never miss on a working set within capacity after warm-up.
+#[test]
+fn tlb_capacity_invariant() {
+    run_cases(32, |g| {
         use preexec::mem::{Tlb, TlbConfig};
-        let mut t = Tlb::new(TlbConfig { entries: 8, page_bytes: 4096, miss_latency: 30 });
+        let pages = g.usize(1, 8);
+        let rounds = g.u64(2, 6);
+        let mut t = Tlb::new(TlbConfig {
+            entries: 8,
+            page_bytes: 4096,
+            miss_latency: 30,
+        });
         for _ in 0..rounds {
             for p in 0..pages as u64 {
                 t.access(p * 4096);
             }
         }
-        prop_assert_eq!(t.stats().misses, pages as u64, "only cold misses");
+        assert_eq!(t.stats().misses, pages as u64, "only cold misses");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Experiment-engine invariants (the tentpole's correctness contract).
+// ---------------------------------------------------------------------------
+
+/// A cache-served `Prepared` yields exactly the selections and simulated
+/// reports of a freshly built one, for every target.
+#[test]
+fn cached_prepared_equals_fresh() {
+    let cfg = ExpConfig::default();
+    let engine = Engine::new(2);
+    for name in ["gap", "mcf"] {
+        let first = engine.prepared(name, &cfg);
+        let cached = engine.prepared(name, &cfg); // served from cache
+        let fresh = Prepared::build(name, &cfg); // no cache at all
+        for target in [SelectionTarget::Latency, SelectionTarget::Energy] {
+            let a = format!("{:?}", fresh.select(target));
+            let b = format!("{:?}", first.select(target));
+            let c = format!("{:?}", cached.select(target));
+            assert_eq!(a, b, "{name}: engine-built differs from fresh");
+            assert_eq!(b, c, "{name}: cache-served differs from engine-built");
+        }
+        assert_eq!(
+            fresh.baseline.to_json().to_string(),
+            cached.baseline.to_json().to_string(),
+        );
+    }
+    assert!(engine.metrics().cache_hits() >= 2);
+}
+
+/// A parallel engine produces byte-identical results to a serial one:
+/// thread scheduling may reorder work but never output.
+#[test]
+fn parallel_engine_equals_serial() {
+    let cfg = ExpConfig::default();
+    let names = ["gap", "mcf"];
+    let targets = [SelectionTarget::Latency, SelectionTarget::Ed];
+    let serial = Engine::new(1).eval_benchmarks(&names, &cfg, &targets);
+    let parallel = Engine::new(4).eval_benchmarks(&names, &cfg, &targets);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.prep.name, p.prep.name);
+        for (sr, pr) in s.results.iter().zip(&p.results) {
+            assert_eq!(sr.target, pr.target);
+            assert_eq!(
+                sr.report.to_json().to_string(),
+                pr.report.to_json().to_string(),
+                "{}/{}: parallel report differs from serial",
+                s.prep.name,
+                sr.target.label(),
+            );
+        }
     }
 }
