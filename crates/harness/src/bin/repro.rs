@@ -4,6 +4,13 @@
 //! experiment is one of `fig2 fig3 fig4 fig5a fig5b fig5c tab12 tab3 ed2
 //! branch cfg combined all`.
 //!
+//! `repro verify [--cases N] [--seed S]` instead runs the differential
+//! verification pass (see `preexec_harness::verify`): every workload
+//! kernel plus `N` fuzzed programs (default 500) through the functional
+//! oracle and the pipeline, with and without p-thread injection. Exits 1
+//! on any mismatch, printing the failing case's replayable seed. Build
+//! with `--features sanitize` for per-cycle invariant checks too.
+//!
 //! Experiments run on the parallel caching [`Engine`]; set `REPRO_THREADS`
 //! to override the worker count (1 = serial; results are identical either
 //! way). With `--json`, results are emitted as machine-readable JSON (one
@@ -12,15 +19,51 @@
 //! cache hit/miss statistics. With `--progress`, the engine narrates
 //! pipeline builds and evaluations on stderr.
 
-use preexec_harness::{experiments, Engine, ExpConfig};
+use preexec_harness::{experiments, verify, Engine, ExpConfig};
 use preexec_json::{jobj, ToJson};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--json] [--metrics] [--progress] \
-         <fig2|fig3|fig4|fig5a|fig5b|fig5c|tab12|tab3|ed2|branch|cfg|combined|all>"
+         <fig2|fig3|fig4|fig5a|fig5b|fig5c|tab12|tab3|ed2|branch|cfg|combined|all>\n\
+         \x20      repro verify [--json] [--cases N] [--seed S]"
     );
     std::process::exit(2);
+}
+
+/// Parses a seed given as decimal or `0x`-prefixed hex.
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// `repro verify`: the differential oracle/fuzz/sanitizer pass.
+fn run_verify(json: bool, progress: bool, rest: &[String]) -> ! {
+    let mut opts = verify::VerifyOptions::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cases" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.cases = n,
+                None => usage(),
+            },
+            "--seed" => match it.next().and_then(|v| parse_seed(v)) {
+                Some(s) => opts.seed = s,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let engine = Engine::from_env().with_progress(progress);
+    let summary = verify::run(&engine, &opts);
+    if json {
+        println!("{}", summary.to_json());
+    } else {
+        print!("{summary}");
+    }
+    std::process::exit(if summary.ok() { 0 } else { 1 });
 }
 
 fn run_one(engine: &Engine, id: &str, cfg: &ExpConfig, json: bool) {
@@ -75,6 +118,9 @@ fn main() {
         .collect();
     if args.is_empty() {
         usage();
+    }
+    if args[0] == "verify" {
+        run_verify(json, progress, &args[1..]);
     }
     let engine = Engine::from_env().with_progress(progress);
     let cfg = ExpConfig::default();

@@ -6,6 +6,11 @@
 //! target, and regenerates every table and figure of the paper's
 //! evaluation section (see the `experiments` module and the `repro`
 //! binary).
+//!
+//! `repro verify` (the [`verify`] module) runs the oracle-vs-pipeline
+//! differential pass from `preexec-oracle` over every workload kernel and
+//! a fuzzed program batch on the same engine; build with
+//! `--features sanitize` to add the pipeline's per-cycle invariant checks.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -16,6 +21,7 @@ pub mod experiments;
 pub mod metrics;
 mod setup;
 mod table;
+pub mod verify;
 
 pub use chart::{signed_bars, stacked_bars};
 pub use engine::{Engine, THREADS_ENV};

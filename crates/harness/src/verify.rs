@@ -1,0 +1,199 @@
+//! The `repro verify` pass: oracle-vs-pipeline differential verification
+//! over every workload kernel and a batch of fuzzed programs, fanned
+//! across the [`Engine`] work pool.
+//!
+//! Three layers of checking, in increasing order of adversarialness:
+//!
+//! 1. **Kernels, baseline** — every workload surrogate (plus the `fig1`
+//!    worked example) runs through the reference interpreter and the
+//!    pipeline; final registers, memory, and retired counts must match.
+//! 2. **Kernels, selected p-threads** — the real PTHSEL selections
+//!    (latency- and ED-targeted) are injected and must change *nothing*
+//!    architectural.
+//! 3. **Fuzz** — seeded random programs and random p-thread sets, each
+//!    swept across the whole [`config_grid`](diff::config_grid) with and
+//!    without injection.
+//!
+//! Build with `--features sanitize` to also run the pipeline's per-cycle
+//! invariant checks during every one of these runs; any violation is
+//! reported with its cycle number and the failing case's replayable seed.
+
+use crate::{Engine, ExpConfig};
+use preexec_json::impl_json_object;
+use preexec_oracle::{diff, fuzz};
+use preexec_prop::Gen;
+use preexec_workloads as workloads;
+use pthsel::SelectionTarget;
+
+/// Default fuzz-case count (the acceptance bar is ≥ 500).
+pub const DEFAULT_CASES: usize = 500;
+/// Default fuzz seed (`preexec-prop`'s default, so plain `run_cases`
+/// reproductions line up with `repro verify` failures).
+pub const DEFAULT_SEED: u64 = 0x5eed_cafe_f00d_0001;
+
+/// What to verify.
+#[derive(Clone, Copy, Debug)]
+pub struct VerifyOptions {
+    /// Number of fuzzed programs.
+    pub cases: usize,
+    /// Fuzz seed; failures embed `(seed, case)` for replay.
+    pub seed: u64,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            cases: DEFAULT_CASES,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+/// Outcome of a verification run.
+#[derive(Clone, Debug)]
+pub struct VerifySummary {
+    /// Kernels checked without p-threads (baseline equivalence).
+    pub kernels: usize,
+    /// (kernel, target) cells checked with real selected p-threads.
+    pub kernel_selections: usize,
+    /// Fuzzed programs checked (each across the whole config grid, with
+    /// and without p-thread injection).
+    pub fuzz_cases: usize,
+    /// The seed the fuzz batch used.
+    pub seed: u64,
+    /// `true` when the `sanitize` feature compiled the per-cycle checks
+    /// into these runs.
+    pub sanitizer: bool,
+    /// Every failure, in deterministic order. Empty means verified.
+    pub failures: Vec<String>,
+}
+
+impl_json_object!(VerifySummary {
+    kernels,
+    kernel_selections,
+    fuzz_cases,
+    seed,
+    sanitizer,
+    failures,
+});
+
+impl VerifySummary {
+    /// `true` when every check passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+impl std::fmt::Display for VerifySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "verify: {} kernels, {} kernel selections, {} fuzz cases (seed {:#x}), sanitizer {}",
+            self.kernels,
+            self.kernel_selections,
+            self.fuzz_cases,
+            self.seed,
+            if self.sanitizer { "on" } else { "off" },
+        )?;
+        if self.ok() {
+            writeln!(f, "verify: PASS")
+        } else {
+            for failure in &self.failures {
+                writeln!(f, "FAIL {failure}")?;
+            }
+            writeln!(f, "verify: {} FAILURES", self.failures.len())
+        }
+    }
+}
+
+/// Selection targets injected during the kernel pass: the latency flavour
+/// (largest, most aggressive p-thread sets) and the energy-delay flavour
+/// (the paper's headline configuration).
+const KERNEL_TARGETS: [SelectionTarget; 2] = [SelectionTarget::Latency, SelectionTarget::Ed];
+
+/// Runs the full verification pass on `engine`'s work pool.
+pub fn run(engine: &Engine, opts: &VerifyOptions) -> VerifySummary {
+    let cfg = ExpConfig::default();
+    let mut failures = Vec::new();
+
+    // Pass 1: every kernel, baseline machine, no p-threads.
+    let mut kernel_names: Vec<&str> = vec!["fig1"];
+    kernel_names.extend(workloads::NAMES);
+    let kernels = kernel_names.len();
+    failures.extend(
+        engine
+            .par_map(kernel_names, |name| {
+                let program = workloads::build(name, cfg.run_input).expect("known kernel");
+                diff::check_equivalence(&program, &[], &cfg.sim, name).err()
+            })
+            .into_iter()
+            .flatten(),
+    );
+
+    // Pass 2: every benchmark kernel with its real selected p-threads.
+    let cells: Vec<(&str, SelectionTarget)> = workloads::NAMES
+        .iter()
+        .flat_map(|&n| KERNEL_TARGETS.iter().map(move |&t| (n, t)))
+        .collect();
+    let kernel_selections = cells.len();
+    failures.extend(
+        engine
+            .par_map(cells, |(name, target)| {
+                let prep = engine.prepared(name, &cfg);
+                let selection = prep.select(target);
+                let label = format!("{name}/{target}");
+                diff::check_equivalence(&prep.program, &selection.pthreads, &cfg.sim, &label).err()
+            })
+            .into_iter()
+            .flatten(),
+    );
+
+    // Pass 3: fuzzed programs across the config grid, baseline and
+    // injected. Failure messages embed the (seed, case) pair; replay with
+    // `Gen::new(seed, case)` + `fuzz::gen_program`/`gen_pthreads`.
+    let seed = opts.seed;
+    failures.extend(
+        engine
+            .par_map((0..opts.cases).collect(), |case| {
+                let mut g = Gen::new(seed, case);
+                let program = fuzz::gen_program(&mut g);
+                let pthreads = fuzz::gen_pthreads(&mut g, &program);
+                let label = format!("fuzz case {case} (seed {seed:#x})");
+                diff::check_across_grid(&program, &pthreads, &label).err()
+            })
+            .into_iter()
+            .flatten(),
+    );
+
+    VerifySummary {
+        kernels,
+        kernel_selections,
+        fuzz_cases: opts.cases,
+        seed,
+        sanitizer: cfg!(feature = "sanitize"),
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_json::ToJson;
+
+    #[test]
+    fn small_verify_pass_is_clean() {
+        let engine = Engine::new(2);
+        let summary = run(
+            &engine,
+            &VerifyOptions {
+                cases: 2,
+                seed: 0x1234,
+            },
+        );
+        assert!(summary.ok(), "{summary}");
+        assert_eq!(summary.kernels, 10);
+        assert_eq!(summary.kernel_selections, 18);
+        let j = summary.to_json().to_string();
+        assert!(j.contains("\"failures\":[]"), "{j}");
+    }
+}

@@ -32,10 +32,10 @@ impl Reg {
     ///
     /// Panics if `index >= 32`.
     #[inline]
-    pub fn new(index: u8) -> Reg {
+    pub const fn new(index: u8) -> Reg {
         assert!(
             (index as usize) < NUM_ARCH_REGS,
-            "register index {index} out of range"
+            "register index out of range"
         );
         Reg(index)
     }

@@ -334,6 +334,13 @@ impl Hierarchy {
         matches!(self.l2.probe(addr, now), Lookup::Hit { .. })
     }
 
+    /// Non-mutating L1D probe: is the line currently present (even if its
+    /// fill is still in flight)? Used by the pipeline sanitizer to check
+    /// that demand accesses leave their line in the L1D.
+    pub fn l1d_has_line(&self, addr: u64, now: u64) -> bool {
+        matches!(self.l1d.probe(addr, now), Lookup::Hit { .. })
+    }
+
     /// Line-aligned address helper using the L2 geometry (all levels share a
     /// line size in the default configuration).
     pub fn line_addr(&self, addr: u64) -> u64 {

@@ -1,0 +1,340 @@
+//! The functional reference interpreter.
+//!
+//! Deliberately the most boring possible implementation of the ISA: a
+//! fetch-decode-execute loop over a register array and a sparse word map,
+//! with zero shared code with the timing pipeline's architectural path
+//! (beyond the `Inst` definitions themselves). Where the pipeline
+//! interleaves its functional execution with fetch, rename and squash
+//! machinery, the oracle has nothing to interleave — which is exactly
+//! what makes it a trustworthy differential baseline.
+
+use preexec_isa::{Inst, Pc, Program, Reg, NUM_ARCH_REGS};
+use std::collections::{BTreeMap, HashMap};
+
+/// Whether a [`MemRef`] was a load or a store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemKind {
+    /// A data load.
+    Load,
+    /// A data store.
+    Store,
+}
+
+/// One entry of the load/store address trace.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemRef {
+    /// Retirement index of the memory instruction.
+    pub seq: u64,
+    /// Static PC of the memory instruction.
+    pub pc: Pc,
+    /// Load or store.
+    pub kind: MemKind,
+    /// Word-aligned effective address.
+    pub addr: u64,
+}
+
+/// One entry of the retired-instruction stream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Retired {
+    /// Retirement index (0-based).
+    pub seq: u64,
+    /// Static PC.
+    pub pc: Pc,
+    /// The instruction.
+    pub inst: Inst,
+}
+
+/// The final architectural outcome of a program run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArchState {
+    /// Final architectural register file (`r0` forced to zero).
+    pub regs: [u64; NUM_ARCH_REGS],
+    /// Final data memory: initial image plus every store, by word address.
+    pub mem: BTreeMap<u64, u64>,
+    /// Instructions retired.
+    pub retired: u64,
+    /// `true` if the program halted (rather than hitting the budget).
+    pub halted: bool,
+}
+
+/// An [`ArchState`] together with the full retired-instruction stream and
+/// load/store address trace.
+#[derive(Clone, Debug)]
+pub struct OracleRun {
+    /// The final architectural state.
+    pub state: ArchState,
+    /// Every retired instruction, in retirement order.
+    pub stream: Vec<Retired>,
+    /// Every load/store with its effective address, in retirement order.
+    pub mem_trace: Vec<MemRef>,
+}
+
+/// The reference interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use preexec_isa::{ProgramBuilder, Reg};
+/// use preexec_oracle::Oracle;
+///
+/// let mut b = ProgramBuilder::new("sum");
+/// b.li(Reg::new(1), 40).addi(Reg::new(1), Reg::new(1), 2).halt();
+/// let prog = b.build();
+/// let run = Oracle::run_full(&prog, 100);
+/// assert!(run.state.halted);
+/// assert_eq!(run.state.regs[1], 42);
+/// assert_eq!(run.stream.len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Oracle<'p> {
+    program: &'p Program,
+    regs: [u64; NUM_ARCH_REGS],
+    mem: HashMap<u64, u64>,
+    pc: Pc,
+    retired: u64,
+    halted: bool,
+}
+
+impl<'p> Oracle<'p> {
+    /// An interpreter at `program`'s entry with its data image loaded.
+    pub fn new(program: &'p Program) -> Oracle<'p> {
+        let mut mem = HashMap::new();
+        for (a, v) in program.image().iter() {
+            mem.insert(a, v);
+        }
+        Oracle {
+            program,
+            regs: [0; NUM_ARCH_REGS],
+            mem,
+            pc: program.entry(),
+            retired: 0,
+            halted: program.get(program.entry()).is_none(),
+        }
+    }
+
+    fn read(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    fn write(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Executes one instruction. Returns the retired record plus the
+    /// memory reference it made (if any), or `None` once halted.
+    pub fn step(&mut self) -> Option<(Retired, Option<MemRef>)> {
+        if self.halted {
+            return None;
+        }
+        let Some(&inst) = self.program.get(self.pc) else {
+            // Fell off the end: architectural halt (matches the ISA's
+            // reference semantics in `preexec-trace`).
+            self.halted = true;
+            return None;
+        };
+        let pc = self.pc;
+        let seq = self.retired;
+        let mut next = pc + 1;
+        let mut mem_ref = None;
+        match inst {
+            Inst::Alu {
+                op,
+                dst,
+                src1,
+                src2,
+            } => {
+                let v = op.apply(self.read(src1), self.read(src2));
+                self.write(dst, v);
+            }
+            Inst::AluImm { op, dst, src1, imm } => {
+                let v = op.apply(self.read(src1), imm as u64);
+                self.write(dst, v);
+            }
+            Inst::LoadImm { dst, imm } => self.write(dst, imm as u64),
+            Inst::Load { dst, base, offset } => {
+                let addr = self.read(base).wrapping_add(offset as u64) & !7;
+                let v = self.mem.get(&addr).copied().unwrap_or(0);
+                self.write(dst, v);
+                mem_ref = Some(MemRef {
+                    seq,
+                    pc,
+                    kind: MemKind::Load,
+                    addr,
+                });
+            }
+            Inst::Store { src, base, offset } => {
+                let addr = self.read(base).wrapping_add(offset as u64) & !7;
+                self.mem.insert(addr, self.read(src));
+                mem_ref = Some(MemRef {
+                    seq,
+                    pc,
+                    kind: MemKind::Store,
+                    addr,
+                });
+            }
+            Inst::Branch {
+                cond,
+                src1,
+                src2,
+                target,
+            } => {
+                if cond.eval(self.read(src1), self.read(src2)) {
+                    next = target;
+                }
+            }
+            Inst::Jump { target } => next = target,
+            Inst::Nop => {}
+            Inst::Halt => {
+                self.halted = true;
+                next = pc;
+            }
+        }
+        self.pc = next;
+        self.retired += 1;
+        Some((Retired { seq, pc, inst }, mem_ref))
+    }
+
+    /// The final architectural state as of now.
+    pub fn state(&self) -> ArchState {
+        let mut regs = self.regs;
+        regs[0] = 0;
+        ArchState {
+            regs,
+            mem: self.mem.iter().map(|(&a, &v)| (a, v)).collect(),
+            retired: self.retired,
+            halted: self.halted,
+        }
+    }
+
+    /// Runs `program` to halt (or `max_insts`) and returns the final
+    /// architectural state only — no stream or trace recording.
+    pub fn run_state(program: &Program, max_insts: u64) -> ArchState {
+        let mut o = Oracle::new(program);
+        while o.retired < max_insts && o.step().is_some() {}
+        o.state()
+    }
+
+    /// Runs `program` to halt (or `max_insts`) recording the full
+    /// retired-instruction stream and load/store address trace.
+    pub fn run_full(program: &Program, max_insts: u64) -> OracleRun {
+        let mut o = Oracle::new(program);
+        let mut stream = Vec::new();
+        let mut mem_trace = Vec::new();
+        while o.retired < max_insts {
+            let Some((r, m)) = o.step() else {
+                break;
+            };
+            stream.push(r);
+            mem_trace.extend(m);
+        }
+        OracleRun {
+            state: o.state(),
+            stream,
+            mem_trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_isa::ProgramBuilder;
+    use preexec_trace::{FuncSim, Step};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn looped_stores() -> Program {
+        let mut b = ProgramBuilder::new("ls");
+        b.data_slice(0x1000, &[5, 6, 7, 8]);
+        b.li(r(1), 0).li(r(2), 4).li(r(9), 0x1000);
+        b.label("top");
+        b.shli(r(3), r(1), 3);
+        b.add(r(3), r(3), r(9));
+        b.ld(r(4), r(3), 0);
+        b.add(r(5), r(5), r(4));
+        b.st(r(5), r(3), 0);
+        b.addi(r(1), r(1), 1);
+        b.blt(r(1), r(2), "top");
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn loops_loads_and_stores_execute() {
+        let p = looped_stores();
+        let run = Oracle::run_full(&p, 10_000);
+        assert!(run.state.halted);
+        // prefix sums: 5, 11, 18, 26
+        assert_eq!(run.state.regs[5], 26);
+        assert_eq!(run.state.mem[&0x1018], 26);
+        let loads = run
+            .mem_trace
+            .iter()
+            .filter(|m| m.kind == MemKind::Load)
+            .count();
+        let stores = run.mem_trace.len() - loads;
+        assert_eq!((loads, stores), (4, 4));
+    }
+
+    #[test]
+    fn oracle_agrees_with_funcsim_stream() {
+        // Two independent implementations of the reference semantics must
+        // produce identical retirement streams and addresses.
+        let p = looped_stores();
+        let run = Oracle::run_full(&p, 10_000);
+        let mut f = FuncSim::new(&p);
+        for rec in &run.stream {
+            match f.step() {
+                Step::Retired(e) => {
+                    assert_eq!((e.seq, e.pc, e.inst), (rec.seq, rec.pc, rec.inst));
+                }
+                Step::Halted => panic!("funcsim halted early at seq {}", rec.seq),
+            }
+        }
+        assert!(matches!(f.step(), Step::Halted));
+        assert_eq!(f.reg_file(), run.state.regs);
+        assert_eq!(f.retired(), run.state.retired);
+        for m in &run.mem_trace {
+            assert_eq!(f.mem_word(m.addr), run.state.mem[&m.addr]);
+        }
+    }
+
+    #[test]
+    fn budget_stops_infinite_loops() {
+        let mut b = ProgramBuilder::new("inf");
+        b.label("x");
+        b.jump("x");
+        let p = b.build();
+        let s = Oracle::run_state(&p, 500);
+        assert!(!s.halted);
+        assert_eq!(s.retired, 500);
+    }
+
+    #[test]
+    fn falling_off_the_end_halts() {
+        let mut b = ProgramBuilder::new("off");
+        b.nop();
+        let p = b.build();
+        let s = Oracle::run_state(&p, 100);
+        assert!(s.halted);
+        assert_eq!(s.retired, 1);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut b = ProgramBuilder::new("z");
+        b.li(Reg::ZERO, 9).addi(r(1), Reg::ZERO, 3).halt();
+        let p = b.build();
+        let s = Oracle::run_state(&p, 100);
+        assert_eq!(s.regs[0], 0);
+        assert_eq!(s.regs[1], 3);
+    }
+}

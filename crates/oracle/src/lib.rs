@@ -1,0 +1,55 @@
+//! # preexec-oracle
+//!
+//! Machine-checked ground truth for the cycle-level simulator. Every
+//! number the reproduction reports flows through the timing pipeline in
+//! `preexec-sim`; this crate provides the correctness tooling that keeps
+//! that pipeline honest:
+//!
+//! * [`Oracle`] — a functional *reference interpreter* that executes
+//!   `preexec-isa` programs architecturally (final register file, final
+//!   memory, retired-instruction stream, load/store address trace) with
+//!   no timing model at all. It is written independently of both the
+//!   pipeline's functional-at-decode path and `preexec-trace`'s
+//!   [`FuncSim`](https://docs.rs/), so a bug must be made twice to go
+//!   unnoticed.
+//! * [`fuzz`] — a seeded program fuzzer built on `preexec-prop` (which in
+//!   turn draws from `preexec-rand`): structured, always-terminating
+//!   random programs with counted loops, if/else diamonds, loads, stores
+//!   and data-dependent branches, plus random p-thread sets with
+//!   slice-shaped bodies and branch hints.
+//! * [`diff`] — the differential harness: runs a program through the
+//!   oracle and through the pipeline across a grid of [`SimConfig`]s and
+//!   asserts architectural equivalence, including the paper's key
+//!   invariant that injecting *any* p-thread set changes timing and
+//!   energy counters but **no** architectural outcome.
+//!
+//! The pipeline's per-cycle invariant checks (the `sanitize` feature of
+//! `preexec-sim`) report violations by panicking with the violating cycle
+//! number; [`diff`] converts those panics into failures that carry the
+//! replayable `preexec-prop` seed.
+//!
+//! [`SimConfig`]: preexec_sim::SimConfig
+//!
+//! # Examples
+//!
+//! ```
+//! use preexec_isa::{ProgramBuilder, Reg};
+//! use preexec_oracle::{diff, Oracle};
+//! use preexec_sim::SimConfig;
+//!
+//! let mut b = ProgramBuilder::new("p");
+//! b.li(Reg::new(1), 20).addi(Reg::new(1), Reg::new(1), 22).halt();
+//! let prog = b.build();
+//! let state = Oracle::run_state(&prog, 1000);
+//! assert_eq!(state.regs[1], 42);
+//! diff::check_equivalence(&prog, &[], &SimConfig::default(), "example").unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod fuzz;
+mod interp;
+
+pub use interp::{ArchState, MemKind, MemRef, Oracle, OracleRun, Retired};

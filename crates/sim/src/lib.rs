@@ -14,6 +14,18 @@
 //! `preexec-energy`), and the pre-execution diagnostics of the paper's
 //! Figure 3: spawns, useless spawns, fully/partially covered misses, and
 //! p-instruction overhead.
+//!
+//! ## The `sanitize` feature
+//!
+//! With `--features sanitize` the pipeline runs per-cycle invariant
+//! checks: in-order ROB retirement, operand readiness at issue,
+//! structural occupancy bounds (ROB, reservation stations, MSHRs, fetch
+//! buffer, p-thread contexts), post-access cache line presence,
+//! cache/TLB statistic coherency, and counter monotonicity. A violation
+//! panics with `[sanitize] cycle N: ...`; the differential harness in
+//! `preexec-oracle` converts that into a failure carrying a replayable
+//! fuzz seed. The feature adds fields to [`Simulator`] and roughly
+//! doubles per-cycle work, so it is off by default.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -22,10 +22,12 @@
 
 use crate::{SimConfig, SimReport, SpawnPoint};
 use preexec_bpred::{Btb, HybridPredictor};
+#[cfg(feature = "sanitize")]
+use preexec_energy::AccessCounts;
 use preexec_isa::{Inst, InstClass, Pc, Program, Reg, NUM_ARCH_REGS};
 use preexec_mem::{Hierarchy, Level};
 use pthsel::PThread;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Index of an in-flight instruction in the window arena.
 type InstId = u32;
@@ -79,6 +81,29 @@ struct Fetched {
     /// `true` when the direction came from a branch-p-thread hint rather
     /// than the predictor.
     from_hint: bool,
+}
+
+/// Rolling snapshots for the `sanitize` feature's per-cycle invariant
+/// checks (counter monotonicity, in-order retirement).
+#[cfg(feature = "sanitize")]
+#[derive(Clone, Debug, Default)]
+struct Sanitizer {
+    prev_counts: AccessCounts,
+    prev_committed: u64,
+    prev_pinsts: u64,
+    last_commit: Option<InstId>,
+}
+
+/// Panics with the violating cycle number when a pipeline invariant
+/// fails. The differential harness catches this and attaches the
+/// replayable fuzz seed.
+#[cfg(feature = "sanitize")]
+macro_rules! sanity {
+    ($self:expr, $cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            panic!("[sanitize] cycle {}: {}", $self.cycle, format!($($arg)+));
+        }
+    };
 }
 
 #[derive(Clone, Debug)]
@@ -157,6 +182,8 @@ pub struct Simulator<'p> {
     warmup_left: u64,
     /// In-flight p-instructions holding a destination register right now.
     pth_pregs_inflight: u64,
+    #[cfg(feature = "sanitize")]
+    sanitizer: Sanitizer,
 }
 
 impl<'p> Simulator<'p> {
@@ -199,6 +226,8 @@ impl<'p> Simulator<'p> {
             measure_from: 0,
             warmup_left: cfg.warmup_commits,
             pth_pregs_inflight: 0,
+            #[cfg(feature = "sanitize")]
+            sanitizer: Sanitizer::default(),
         }
     }
 
@@ -228,6 +257,8 @@ impl<'p> Simulator<'p> {
             let used_fetch = self.sequence_pthreads();
             self.decode_main();
             self.fetch_main(used_fetch);
+            #[cfg(feature = "sanitize")]
+            self.sanitize_cycle();
         }
         self.report.cycles = self.cycle - self.measure_from;
         self.report.wall_nanos = start.elapsed().as_nanos() as u64;
@@ -238,6 +269,13 @@ impl<'p> Simulator<'p> {
     /// equal to the committed state once the run finishes.
     pub fn spec_regs(&self) -> [u64; NUM_ARCH_REGS] {
         self.spec_regs
+    }
+
+    /// Snapshot of the in-order (speculative) data memory — the initial
+    /// image plus every correct-path store — sorted by word address;
+    /// equal to the committed memory once the run finishes.
+    pub fn spec_mem(&self) -> BTreeMap<u64, u64> {
+        self.spec_mem.iter().map(|(&a, &v)| (a, v)).collect()
     }
 
     fn spec_reg(&self, r: Reg) -> u64 {
@@ -310,6 +348,8 @@ impl<'p> Simulator<'p> {
                 return;
             }
             self.rob.pop_front();
+            #[cfg(feature = "sanitize")]
+            self.sanitize_commit(head);
             self.report.committed += 1;
             if self.warmup_left > 0 {
                 self.warmup_left -= 1;
@@ -329,6 +369,12 @@ impl<'p> Simulator<'p> {
                 if acc.served != Level::L1 {
                     self.report.counts.l2_main += 1;
                 }
+                #[cfg(feature = "sanitize")]
+                sanity!(
+                    self,
+                    self.hier.l1d_has_line(addr, self.cycle),
+                    "committed store to {addr:#x} left no line in the L1D"
+                );
             }
             if is_halt {
                 self.report.finished = true;
@@ -343,6 +389,13 @@ impl<'p> Simulator<'p> {
         self.measure_from = self.cycle;
         self.hier.reset_stats();
         self.report = SimReport::default();
+        // The monotonicity snapshots must restart with the counters.
+        #[cfg(feature = "sanitize")]
+        {
+            self.sanitizer.prev_counts = AccessCounts::default();
+            self.sanitizer.prev_committed = 0;
+            self.sanitizer.prev_pinsts = 0;
+        }
     }
 
     // ----- issue -----
@@ -400,6 +453,8 @@ impl<'p> Simulator<'p> {
     }
 
     fn do_issue(&mut self, id: InstId) {
+        #[cfg(feature = "sanitize")]
+        self.sanitize_issue(id);
         let (thread, inst, addr, wrong) = {
             let e = &self.window[id as usize];
             (e.thread, e.inst, e.addr, e.wrong_path)
@@ -473,6 +528,28 @@ impl<'p> Simulator<'p> {
             }
             _ => 1,
         };
+        // A data access of any kind must leave its line in the level it
+        // fills: L1D for demand and L1-prefetching p-thread loads. An
+        // ordinary p-thread load fills the L2 — unless it was served by
+        // the L1D, which it only probes — so the line must be somewhere
+        // on chip, but not necessarily in the L2.
+        #[cfg(feature = "sanitize")]
+        if inst.is_load() {
+            if thread == MAIN || self.cfg.prefetch_l1 {
+                sanity!(
+                    self,
+                    self.hier.l1d_has_line(addr, self.cycle),
+                    "load from {addr:#x} left no line in the L1D"
+                );
+            } else {
+                sanity!(
+                    self,
+                    self.hier.l2_has_line(addr, self.cycle)
+                        || self.hier.l1d_has_line(addr, self.cycle),
+                    "p-thread load from {addr:#x} left no line on chip"
+                );
+            }
+        }
         let e = &mut self.window[id as usize];
         e.state = State::Issued;
         e.done_at = self.cycle + latency;
@@ -881,6 +958,214 @@ impl<'p> Simulator<'p> {
             }
         }
         self.fetch_pc = pc;
+    }
+}
+
+/// The per-cycle invariant checks of the `sanitize` feature. Each check
+/// is written against the *specification* of the stage, independently of
+/// how the stage computes its result, so a bug in the stage logic cannot
+/// hide the same bug in the check.
+#[cfg(feature = "sanitize")]
+impl Simulator<'_> {
+    /// Runs every end-of-cycle invariant; called from [`Simulator::run`].
+    fn sanitize_cycle(&mut self) {
+        // Structural occupancies never exceed capacity.
+        sanity!(
+            self,
+            self.rob.len() <= self.cfg.rob_size,
+            "ROB holds {} entries, capacity {}",
+            self.rob.len(),
+            self.cfg.rob_size
+        );
+        sanity!(
+            self,
+            self.waiting.len() <= self.cfg.rs_size,
+            "{} reservation stations in use, capacity {}",
+            self.waiting.len(),
+            self.cfg.rs_size
+        );
+        sanity!(
+            self,
+            self.outstanding_misses.len() <= self.cfg.mshrs,
+            "{} outstanding misses, {} MSHRs",
+            self.outstanding_misses.len(),
+            self.cfg.mshrs
+        );
+        let fetch_cap = 3 * self.cfg.fetch_width as usize;
+        sanity!(
+            self,
+            self.fetch_buf.len() <= fetch_cap,
+            "fetch buffer holds {} entries, cap {fetch_cap}",
+            self.fetch_buf.len()
+        );
+        sanity!(
+            self,
+            self.contexts.len() == self.cfg.pthread_contexts,
+            "{} p-thread context slots, configured {}",
+            self.contexts.len(),
+            self.cfg.pthread_contexts
+        );
+        // The ROB is a queue in program (dispatch) order.
+        for w in 0..self.rob.len().saturating_sub(1) {
+            sanity!(
+                self,
+                self.rob[w] < self.rob[w + 1],
+                "ROB order violated: id {} ahead of id {}",
+                self.rob[w],
+                self.rob[w + 1]
+            );
+        }
+        // Every reservation station holds a genuinely waiting instruction
+        // whose dependences were dispatched before it.
+        for &id in &self.waiting {
+            let e = &self.window[id as usize];
+            sanity!(
+                self,
+                e.state == State::Waiting,
+                "id {id} occupies a reservation station in state {:?}",
+                e.state
+            );
+            for &d in &e.deps {
+                sanity!(self, d < id, "id {id} depends on later id {d}");
+            }
+        }
+        // Energy counters are monotone (they are u64, so non-negativity
+        // is structural; what can break is a reset or an underflow).
+        let c = self.report.counts;
+        let p = self.sanitizer.prev_counts;
+        let pairs = [
+            ("imem_main", c.imem_main, p.imem_main),
+            ("imem_pth", c.imem_pth, p.imem_pth),
+            ("dmem_main", c.dmem_main, p.dmem_main),
+            ("dmem_pth", c.dmem_pth, p.dmem_pth),
+            ("l2_main", c.l2_main, p.l2_main),
+            ("l2_pth", c.l2_pth, p.l2_pth),
+            ("dispatch_main", c.dispatch_main, p.dispatch_main),
+            ("dispatch_pth", c.dispatch_pth, p.dispatch_pth),
+            ("alu_main", c.alu_main, p.alu_main),
+            ("alu_pth", c.alu_pth, p.alu_pth),
+            ("rob_bpred", c.rob_bpred, p.rob_bpred),
+        ];
+        for (name, now, before) in pairs {
+            sanity!(self, now >= before, "counter {name} went {before} -> {now}");
+        }
+        sanity!(
+            self,
+            self.report.committed >= self.sanitizer.prev_committed,
+            "committed went {} -> {}",
+            self.sanitizer.prev_committed,
+            self.report.committed
+        );
+        let delta = self.report.committed - self.sanitizer.prev_committed;
+        sanity!(
+            self,
+            delta <= self.cfg.commit_width as u64,
+            "{delta} commits in one cycle, width {}",
+            self.cfg.commit_width
+        );
+        sanity!(
+            self,
+            self.report.pinsts >= self.sanitizer.prev_pinsts,
+            "pinsts went {} -> {}",
+            self.sanitizer.prev_pinsts,
+            self.report.pinsts
+        );
+        self.sanitizer.prev_counts = c;
+        self.sanitizer.prev_committed = self.report.committed;
+        self.sanitizer.prev_pinsts = self.report.pinsts;
+        // Cache/TLB statistics stay coherent: a level's misses never
+        // exceed its accesses and every L2 miss is a memory access.
+        // (Strict L1⊆L2 content inclusion is NOT a model invariant — L2
+        // evictions do not back-invalidate the L1 — so it is not checked.)
+        let s = self.hier.stats();
+        sanity!(
+            self,
+            s.l1d_misses <= s.l1d_accesses,
+            "L1D misses {} > accesses {}",
+            s.l1d_misses,
+            s.l1d_accesses
+        );
+        sanity!(
+            self,
+            s.l1i_misses <= s.l1i_accesses,
+            "L1I misses {} > accesses {}",
+            s.l1i_misses,
+            s.l1i_accesses
+        );
+        sanity!(
+            self,
+            s.l2_misses <= s.l2_accesses,
+            "L2 misses {} > accesses {}",
+            s.l2_misses,
+            s.l2_accesses
+        );
+        sanity!(
+            self,
+            s.mem_accesses == s.l2_misses,
+            "memory accesses {} != L2 misses {}",
+            s.mem_accesses,
+            s.l2_misses
+        );
+        if self.cfg.hierarchy.tlb.is_none() {
+            sanity!(
+                self,
+                s.dtlb_misses == 0 && s.itlb_misses == 0,
+                "TLB disabled but recorded {}/{} D/I misses",
+                s.dtlb_misses,
+                s.itlb_misses
+            );
+        }
+    }
+
+    /// The ROB retires in order: ids commit strictly ascending, and only
+    /// completed, correct-path instructions ever commit.
+    fn sanitize_commit(&mut self, head: InstId) {
+        let e = &self.window[head as usize];
+        sanity!(
+            self,
+            e.state == State::Issued && e.done_at <= self.cycle,
+            "id {head} committed in state {:?} (done_at {})",
+            e.state,
+            e.done_at
+        );
+        sanity!(self, !e.wrong_path, "wrong-path id {head} committed");
+        if let Some(last) = self.sanitizer.last_commit {
+            sanity!(self, head > last, "id {head} committed after id {last}");
+        }
+        self.sanitizer.last_commit = Some(head);
+    }
+
+    /// Nothing issues before its operands are ready: every dependence has
+    /// produced its value (or been squashed) by this cycle, and at least
+    /// one cycle has passed since dispatch.
+    fn sanitize_issue(&self, id: InstId) {
+        let e = &self.window[id as usize];
+        sanity!(
+            self,
+            e.state == State::Waiting,
+            "id {id} issued from state {:?}",
+            e.state
+        );
+        sanity!(
+            self,
+            e.dispatched_at < self.cycle,
+            "id {id} issued the cycle it dispatched"
+        );
+        for &d in &e.deps {
+            let p = &self.window[d as usize];
+            let ready = match p.state {
+                State::Issued => p.done_at <= self.cycle,
+                State::Squashed => true,
+                State::Waiting => false,
+            };
+            sanity!(
+                self,
+                ready,
+                "id {id} issued before operand producer {d} (state {:?}, done_at {}) was ready",
+                p.state,
+                p.done_at
+            );
+        }
     }
 }
 

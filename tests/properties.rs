@@ -12,7 +12,15 @@ use preexec::sim::{SimConfig, Simulator};
 use preexec::slicer::collapse_inductions;
 use preexec::trace::FuncSim;
 use preexec_json::ToJson;
-use preexec_prop::{run_cases, Gen};
+use preexec_prop::{run_cases, run_cases_seeded, Gen};
+
+/// Pinned `preexec-prop` seeds replayed on every run, in addition to the
+/// fresh default-seed batches. The first is the harness's default seed
+/// (so these replays line up with plain `run_cases` failures); the
+/// second preserves the identity of the proptest regression entry this
+/// suite carried before migrating off proptest — its shrunk inputs are
+/// also pinned exactly in `energy_linearity_pinned_regression`.
+const PINNED_SEEDS: [u64; 2] = [0x5eed_cafe_f00d_0001, 0x9b4f_aec0_2414_6b76];
 
 /// A random straight-line program over a few registers, touching a small
 /// memory region (instructions only; `halt` is appended by the caller).
@@ -158,6 +166,32 @@ fn cache_fill_then_hit() {
     });
 }
 
+/// One energy-linearity case: doubling all counts and cycles doubles the
+/// total.
+fn energy_linearity_case(d: u64, l2: u64, cyc: u64) {
+    let cfg = EnergyConfig::default();
+    let counts = AccessCounts {
+        dispatch_main: d,
+        l2_main: l2,
+        alu_main: d / 2,
+        rob_bpred: d,
+        ..AccessCounts::new()
+    };
+    let twice = AccessCounts {
+        dispatch_main: 2 * d,
+        l2_main: 2 * l2,
+        alu_main: 2 * (d / 2),
+        rob_bpred: 2 * d,
+        ..AccessCounts::new()
+    };
+    let a = EnergyBreakdown::compute(&counts, cyc, &cfg);
+    let b = EnergyBreakdown::compute(&twice, 2 * cyc, &cfg);
+    assert!(
+        (b.total() - 2.0 * a.total()).abs() < 1e-6,
+        "non-linear at d = {d}, l2 = {l2}, cyc = {cyc}"
+    );
+}
+
 /// Energy accounting is linear: doubling all counts and cycles doubles
 /// every component.
 #[test]
@@ -166,25 +200,28 @@ fn energy_is_linear() {
         let d = g.u64(0, 10_000);
         let l2 = g.u64(0, 10_000);
         let cyc = g.u64(1, 100_000);
-        let cfg = EnergyConfig::default();
-        let counts = AccessCounts {
-            dispatch_main: d,
-            l2_main: l2,
-            alu_main: d / 2,
-            rob_bpred: d,
-            ..AccessCounts::new()
-        };
-        let twice = AccessCounts {
-            dispatch_main: 2 * d,
-            l2_main: 2 * l2,
-            alu_main: 2 * (d / 2),
-            rob_bpred: 2 * d,
-            ..AccessCounts::new()
-        };
-        let a = EnergyBreakdown::compute(&counts, cyc, &cfg);
-        let b = EnergyBreakdown::compute(&twice, 2 * cyc, &cfg);
-        assert!((b.total() - 2.0 * a.total()).abs() < 1e-6);
+        energy_linearity_case(d, l2, cyc);
     });
+}
+
+/// Replays the energy-linearity property under every pinned seed.
+#[test]
+fn energy_linearity_replays_pinned_seeds() {
+    for seed in PINNED_SEEDS {
+        run_cases_seeded(seed, 16, |g| {
+            let d = g.u64(0, 10_000);
+            let l2 = g.u64(0, 10_000);
+            let cyc = g.u64(1, 100_000);
+            energy_linearity_case(d, l2, cyc);
+        });
+    }
+}
+
+/// The exact inputs the removed `properties.proptest-regressions` file
+/// pinned ("shrinks to d = 4153, l2 = 0, cyc = 1").
+#[test]
+fn energy_linearity_pinned_regression() {
+    energy_linearity_case(4153, 0, 1);
 }
 
 /// Total energy of any run is monotone (non-decreasing) in the idle

@@ -1,0 +1,110 @@
+//! Named oracle-vs-pipeline differential tests: every workload kernel is
+//! executed by the functional reference interpreter (`preexec::oracle`)
+//! and by the cycle-level pipeline, and the architectural outcomes —
+//! final registers, final memory, retired-instruction count — must match
+//! exactly. Injecting the real PTHSEL-selected p-thread sets must change
+//! *nothing* architectural.
+//!
+//! These are the per-kernel named slices of what `repro verify` runs in
+//! bulk; a failure here names the kernel directly in the test name. The
+//! full pass (500 fuzz cases across the config grid, with the `sanitize`
+//! feature on) is exercised by `repro verify` in CI.
+
+use preexec::harness::{Engine, ExpConfig};
+use preexec::oracle::{diff, fuzz};
+use preexec::pthsel::SelectionTarget;
+use preexec::workloads;
+use preexec_prop::Gen;
+use std::sync::OnceLock;
+
+/// One engine shared by every test in this binary so the per-kernel
+/// pipeline builds (traces, slices, selections) are computed once.
+fn engine() -> &'static Engine {
+    static ENGINE: OnceLock<Engine> = OnceLock::new();
+    ENGINE.get_or_init(Engine::from_env)
+}
+
+/// Baseline differential check: kernel through oracle and pipeline with
+/// no p-threads.
+fn check_baseline(name: &str) {
+    let cfg = ExpConfig::default();
+    let program = workloads::build(name, cfg.run_input).expect("known kernel");
+    if let Err(e) = diff::check_equivalence(&program, &[], &cfg.sim, name) {
+        panic!("{e}");
+    }
+}
+
+/// Injection invariance: the kernel's real selected p-thread sets (both
+/// latency- and ED-targeted) must leave every architectural outcome
+/// untouched.
+fn check_selected(name: &str) {
+    let cfg = ExpConfig::default();
+    let prep = engine().prepared(name, &cfg);
+    for target in [SelectionTarget::Latency, SelectionTarget::Ed] {
+        let selection = prep.select(target);
+        let label = format!("{name}/{target}");
+        if let Err(e) =
+            diff::check_equivalence(&prep.program, &selection.pthreads, &cfg.sim, &label)
+        {
+            panic!("{e}");
+        }
+    }
+}
+
+macro_rules! kernel_diff_tests {
+    ($($module:ident => $name:expr;)+) => {
+        $(mod $module {
+            #[test]
+            fn baseline_matches_oracle() {
+                super::check_baseline($name);
+            }
+            #[test]
+            fn selected_pthreads_preserve_architecture() {
+                super::check_selected($name);
+            }
+        })+
+
+        /// Every benchmark surrogate has a named test above; adding a
+        /// kernel to `workloads::NAMES` without covering it fails here.
+        #[test]
+        fn all_kernels_are_covered() {
+            let tested = [$($name),+];
+            assert_eq!(tested, workloads::NAMES);
+        }
+    };
+}
+
+kernel_diff_tests! {
+    bzip2 => "bzip2";
+    gap => "gap";
+    gcc => "gcc";
+    mcf => "mcf";
+    parser => "parser";
+    twolf => "twolf";
+    vortex => "vortex";
+    vpr_place => "vpr.place";
+    vpr_route => "vpr.route";
+}
+
+/// The paper's worked example is not in `NAMES` but is a known kernel;
+/// it gets the baseline check too (it has no selection pipeline).
+#[test]
+fn fig1_baseline_matches_oracle() {
+    check_baseline("fig1");
+}
+
+/// A small always-on slice of the fuzz pass: random programs with random
+/// p-thread sets swept across the whole config grid, baseline and
+/// injected. `repro verify` runs hundreds of these; this keeps a handful
+/// in the plain test suite.
+#[test]
+fn fuzzed_programs_with_injection_stay_architectural() {
+    for case in 0..4 {
+        let mut g = Gen::new(0xfeed_beef, case);
+        let program = fuzz::gen_program(&mut g);
+        let pthreads = fuzz::gen_pthreads(&mut g, &program);
+        if let Err(e) = diff::check_across_grid(&program, &pthreads, &format!("fuzz case {case}")) {
+            panic!("{e}");
+        }
+    }
+}
