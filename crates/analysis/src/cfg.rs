@@ -1,0 +1,489 @@
+//! Control-flow graph construction, reachability, and dominators.
+//!
+//! Basic blocks are maximal straight-line runs of instructions: a new
+//! block starts at the entry, at every control target, and after every
+//! branch, jump, or halt. Blocks are identified by dense indices in
+//! program order; [`Cfg::block_of`] maps a PC back to its block.
+
+use crate::{Defect, Finding};
+use preexec_isa::{Inst, Pc, Program};
+
+/// One basic block: the half-open PC range `[start, end)` plus its CFG
+/// edges (block indices).
+#[derive(Clone, Debug)]
+pub struct BasicBlock {
+    /// First instruction PC.
+    pub start: Pc,
+    /// One past the last instruction PC.
+    pub end: Pc,
+    /// Successor block indices, in (fallthrough, target) order.
+    pub succs: Vec<usize>,
+    /// Predecessor block indices, ascending.
+    pub preds: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// PC of the block's final (terminating) instruction.
+    pub fn last_pc(&self) -> Pc {
+        self.end - 1
+    }
+
+    /// Iterates the block's instruction PCs.
+    pub fn pcs(&self) -> impl Iterator<Item = Pc> {
+        self.start..self.end
+    }
+}
+
+/// The control-flow graph of a [`Program`], with reachability, dominator,
+/// and halt-reachability facts precomputed.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    block_of: Vec<usize>,
+    reachable: Vec<bool>,
+    /// Immediate dominator per block (entry's idom is itself); `None` for
+    /// unreachable blocks.
+    idom: Vec<Option<usize>>,
+    /// Reverse postorder over reachable blocks.
+    rpo: Vec<usize>,
+    /// Blocks from which some exit (halt or running off the code's end)
+    /// is reachable.
+    can_exit: Vec<bool>,
+    /// Blocks whose terminator can fall through past the last instruction.
+    falls_off_end: Vec<bool>,
+    /// Control instructions whose target PC is outside the program,
+    /// as `(branch_pc, target)`.
+    bad_targets: Vec<(Pc, Pc)>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `program` and runs every graph-level analysis.
+    pub fn build(program: &Program) -> Cfg {
+        let n = program.len();
+        if n == 0 {
+            return Cfg {
+                blocks: Vec::new(),
+                block_of: Vec::new(),
+                reachable: Vec::new(),
+                idom: Vec::new(),
+                rpo: Vec::new(),
+                can_exit: Vec::new(),
+                falls_off_end: Vec::new(),
+                bad_targets: Vec::new(),
+            };
+        }
+        let in_range = |t: Pc| (t as usize) < n;
+        let mut bad_targets = Vec::new();
+
+        // Leaders: entry, control targets, and fall-throughs of terminators.
+        let mut leader = vec![false; n];
+        leader[0] = true;
+        for (pc, inst) in program.insts().iter().enumerate() {
+            match *inst {
+                Inst::Branch { target, .. } | Inst::Jump { target } => {
+                    if in_range(target) {
+                        leader[target as usize] = true;
+                    } else {
+                        bad_targets.push((pc as Pc, target));
+                    }
+                    if pc + 1 < n {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Inst::Halt if pc + 1 < n => leader[pc + 1] = true,
+                _ => {}
+            }
+        }
+
+        // Blocks and the PC → block map.
+        let mut blocks: Vec<BasicBlock> = Vec::new();
+        let mut block_of = vec![0usize; n];
+        for pc in 0..n {
+            if leader[pc] {
+                blocks.push(BasicBlock {
+                    start: pc as Pc,
+                    end: pc as Pc + 1,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+            } else {
+                blocks.last_mut().expect("entry is a leader").end = pc as Pc + 1;
+            }
+            block_of[pc] = blocks.len() - 1;
+        }
+
+        // Edges.
+        let nb = blocks.len();
+        let mut falls_off_end = vec![false; nb];
+        for b in 0..nb {
+            let last = blocks[b].last_pc();
+            let mut succs = Vec::new();
+            let mut fallthrough = |succs: &mut Vec<usize>| {
+                if (last as usize) + 1 < n {
+                    succs.push(block_of[last as usize + 1]);
+                } else {
+                    falls_off_end[b] = true;
+                }
+            };
+            match *program.inst(last) {
+                Inst::Halt => {}
+                Inst::Jump { target } => {
+                    if in_range(target) {
+                        succs.push(block_of[target as usize]);
+                    }
+                }
+                Inst::Branch { target, .. } => {
+                    fallthrough(&mut succs);
+                    if in_range(target) {
+                        let t = block_of[target as usize];
+                        if !succs.contains(&t) {
+                            succs.push(t);
+                        }
+                    }
+                }
+                _ => fallthrough(&mut succs),
+            }
+            for &s in &succs {
+                blocks[s].preds.push(b);
+            }
+            blocks[b].succs = succs;
+        }
+        for blk in &mut blocks {
+            blk.preds.sort_unstable();
+            blk.preds.dedup();
+        }
+
+        // Forward reachability + postorder DFS from the entry block.
+        let mut reachable = vec![false; nb];
+        let mut post = Vec::with_capacity(nb);
+        // Iterative DFS; the stack entry remembers how many successors
+        // have been expanded so far.
+        let mut stack: Vec<(usize, usize)> = vec![(block_of[program.entry() as usize], 0)];
+        reachable[stack[0].0] = true;
+        while let Some(&(b, i)) = stack.last() {
+            if i < blocks[b].succs.len() {
+                stack.last_mut().expect("nonempty").1 += 1;
+                let s = blocks[b].succs[i];
+                if !reachable[s] {
+                    reachable[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<usize> = post.iter().rev().copied().collect();
+
+        // Dominators: iterative Cooper–Harvey–Kennedy over reverse
+        // postorder, intersecting along idom chains.
+        let mut rpo_index = vec![usize::MAX; nb];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b] = i;
+        }
+        let entry = rpo[0];
+        let mut idom: Vec<Option<usize>> = vec![None; nb];
+        idom[entry] = Some(entry);
+        let intersect =
+            |idom: &[Option<usize>], rpo_index: &[usize], mut a: usize, mut b: usize| {
+                while a != b {
+                    while rpo_index[a] > rpo_index[b] {
+                        a = idom[a].expect("processed block has an idom");
+                    }
+                    while rpo_index[b] > rpo_index[a] {
+                        b = idom[b].expect("processed block has an idom");
+                    }
+                }
+                a
+            };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom = None;
+                for &p in &blocks[b].preds {
+                    if idom[p].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if new_idom.is_some() && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        // Exit reachability: reverse BFS from every halting block and
+        // every block that runs off the end of the code.
+        let mut can_exit = vec![false; nb];
+        let mut work: Vec<usize> = (0..nb)
+            .filter(|&b| {
+                falls_off_end[b] || matches!(program.inst(blocks[b].last_pc()), Inst::Halt)
+            })
+            .collect();
+        for &b in &work {
+            can_exit[b] = true;
+        }
+        while let Some(b) = work.pop() {
+            for &p in &blocks[b].preds {
+                if !can_exit[p] {
+                    can_exit[p] = true;
+                    work.push(p);
+                }
+            }
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            reachable,
+            idom,
+            rpo,
+            can_exit,
+            falls_off_end,
+            bad_targets,
+        }
+    }
+
+    /// The basic blocks, in program order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Number of basic blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// `true` when the program had no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Block index containing `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is outside the program.
+    pub fn block_of(&self, pc: Pc) -> usize {
+        self.block_of[pc as usize]
+    }
+
+    /// `true` when block `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: usize) -> bool {
+        self.reachable[b]
+    }
+
+    /// Immediate dominator of block `b` (the entry dominates itself);
+    /// `None` for unreachable blocks.
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        self.idom[b]
+    }
+
+    /// `true` when block `a` dominates block `b` (reflexive). Unreachable
+    /// blocks dominate nothing and are dominated by nothing.
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(i) if i != cur => cur = i,
+                _ => return false,
+            }
+        }
+    }
+
+    /// Reachable blocks in reverse postorder (entry first).
+    pub fn rpo(&self) -> &[usize] {
+        &self.rpo
+    }
+
+    /// `true` when some exit (a halt, or running off the end of the code)
+    /// is reachable from block `b`.
+    pub fn can_exit(&self, b: usize) -> bool {
+        self.can_exit[b]
+    }
+
+    /// `true` when block `b`'s terminator can fall through past the last
+    /// instruction of the program.
+    pub fn falls_off_end(&self, b: usize) -> bool {
+        self.falls_off_end[b]
+    }
+
+    /// Control instructions with out-of-range targets, as
+    /// `(control_pc, target)`.
+    pub fn bad_targets(&self) -> &[(Pc, Pc)] {
+        &self.bad_targets
+    }
+
+    /// Graph-shape findings: out-of-range control targets, reachable
+    /// paths that run off the end of the code, unreachable blocks, and
+    /// reachable blocks from which no exit is reachable (infinite-loop
+    /// shapes).
+    pub fn findings(&self) -> Vec<Finding> {
+        let mut out = Vec::new();
+        for &(pc, target) in &self.bad_targets {
+            out.push(Finding::new(Defect::BranchTargetOutOfRange { pc, target }));
+        }
+        for (b, blk) in self.blocks.iter().enumerate() {
+            if !self.reachable[b] {
+                out.push(Finding::new(Defect::UnreachableBlock { start: blk.start }));
+                continue;
+            }
+            if self.falls_off_end[b] {
+                out.push(Finding::new(Defect::MissingHalt { pc: blk.last_pc() }));
+            }
+            if !self.can_exit[b] {
+                out.push(Finding::new(Defect::NoPathToHalt { start: blk.start }));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_isa::{BranchCond, ProgramBuilder, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    /// if (r1 == r2) { r3 = 1 } else { r3 = 2 }; halt — the classic
+    /// diamond: 4 blocks, entry dominates all, join dominated by entry
+    /// only.
+    fn diamond() -> Program {
+        let mut b = ProgramBuilder::new("diamond");
+        b.beq(r(1), r(2), "then"); // 0        block 0
+        b.li(r(3), 2); // 1                    block 1
+        b.jump("join"); // 2
+        b.label("then");
+        b.li(r(3), 1); // 3                    block 2
+        b.label("join");
+        b.halt(); // 4                         block 3
+        b.build()
+    }
+
+    #[test]
+    fn diamond_blocks_and_edges() {
+        let cfg = Cfg::build(&diamond());
+        assert_eq!(cfg.len(), 4);
+        assert_eq!(cfg.blocks()[0].succs, vec![1, 2]);
+        assert_eq!(cfg.blocks()[1].succs, vec![3]);
+        assert_eq!(cfg.blocks()[2].succs, vec![3]);
+        assert_eq!(cfg.blocks()[3].succs, Vec::<usize>::new());
+        assert_eq!(cfg.blocks()[3].preds, vec![1, 2]);
+        assert_eq!(cfg.block_of(2), 1);
+        assert!((0..4).all(|b| cfg.is_reachable(b)));
+        assert!(cfg.findings().is_empty());
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let cfg = Cfg::build(&diamond());
+        assert_eq!(cfg.idom(0), Some(0));
+        assert_eq!(cfg.idom(1), Some(0));
+        assert_eq!(cfg.idom(2), Some(0));
+        // The join is dominated by the entry, not by either arm.
+        assert_eq!(cfg.idom(3), Some(0));
+        assert!(cfg.dominates(0, 3));
+        assert!(!cfg.dominates(1, 3));
+        assert!(!cfg.dominates(2, 3));
+        assert!(cfg.dominates(3, 3));
+    }
+
+    #[test]
+    fn loop_dominators_and_exit() {
+        let mut b = ProgramBuilder::new("loop");
+        b.li(r(1), 0); // block 0
+        b.label("top");
+        b.addi(r(1), r(1), 1); // block 1
+        b.blt(r(1), r(2), "top");
+        b.halt(); // block 2
+        let cfg = Cfg::build(&b.build());
+        assert_eq!(cfg.len(), 3);
+        assert_eq!(cfg.blocks()[1].succs, vec![2, 1]);
+        assert_eq!(cfg.idom(1), Some(0));
+        assert_eq!(cfg.idom(2), Some(1));
+        assert!(cfg.dominates(1, 2));
+        assert!((0..3).all(|blk| cfg.can_exit(blk)));
+        assert!(cfg.findings().is_empty());
+    }
+
+    #[test]
+    fn unreachable_block_is_flagged() {
+        let mut b = ProgramBuilder::new("dead");
+        b.jump("end"); // 0
+        b.li(r(1), 7); // 1: unreachable
+        b.label("end");
+        b.halt(); // 2
+        let cfg = Cfg::build(&b.build());
+        assert!(!cfg.is_reachable(cfg.block_of(1)));
+        assert_eq!(cfg.idom(cfg.block_of(1)), None);
+        let f = cfg.findings();
+        assert_eq!(f.len(), 1);
+        assert!(matches!(f[0].defect, Defect::UnreachableBlock { start: 1 }));
+    }
+
+    #[test]
+    fn infinite_loop_shape_is_flagged() {
+        let mut b = ProgramBuilder::new("spin");
+        b.label("x");
+        b.addi(r(1), r(1), 1);
+        b.jump("x");
+        let cfg = Cfg::build(&b.build());
+        assert!(!cfg.can_exit(0));
+        assert!(cfg
+            .findings()
+            .iter()
+            .any(|f| matches!(f.defect, Defect::NoPathToHalt { start: 0 })));
+    }
+
+    #[test]
+    fn falling_off_the_end_is_flagged() {
+        let p = Program::from_raw(
+            "noend",
+            vec![Inst::AluImm {
+                op: preexec_isa::AluOp::Add,
+                dst: r(1),
+                src1: r(1),
+                imm: 1,
+            }],
+        );
+        let cfg = Cfg::build(&p);
+        assert!(cfg.falls_off_end(0));
+        assert!(cfg
+            .findings()
+            .iter()
+            .any(|f| matches!(f.defect, Defect::MissingHalt { pc: 0 })));
+    }
+
+    #[test]
+    fn out_of_range_target_is_flagged() {
+        let p = Program::from_raw(
+            "oob",
+            vec![
+                Inst::Branch {
+                    cond: BranchCond::Eq,
+                    src1: r(1),
+                    src2: r(2),
+                    target: 99,
+                },
+                Inst::Halt,
+            ],
+        );
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.bad_targets(), &[(0, 99)]);
+        assert!(cfg.findings().iter().any(|f| matches!(
+            f.defect,
+            Defect::BranchTargetOutOfRange { pc: 0, target: 99 }
+        )));
+    }
+}

@@ -1,0 +1,459 @@
+//! Classic iterative dataflow over the [`Cfg`]: live variables, reaching
+//! definitions, and the use-before-def check built on them.
+//!
+//! Register sets are 32-bit masks ([`RegSet`]); reads of `r0` are never
+//! tracked (it is the architectural constant zero, not a dependence).
+
+use crate::cfg::Cfg;
+use crate::{Defect, Finding};
+use preexec_isa::{Inst, Pc, Program, Reg, NUM_ARCH_REGS};
+
+/// A set of architectural registers as a 32-bit mask.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct RegSet(u32);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+
+    /// Inserts `r` (inserting `r0` is a no-op: it carries no dataflow).
+    pub fn insert(&mut self, r: Reg) {
+        if !r.is_zero() {
+            self.0 |= 1 << r.index();
+        }
+    }
+
+    /// Removes `r`.
+    pub fn remove(&mut self, r: Reg) {
+        self.0 &= !(1 << r.index());
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: Reg) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Set union.
+    pub fn union(self, other: RegSet) -> RegSet {
+        RegSet(self.0 | other.0)
+    }
+
+    /// Set difference (`self \ other`).
+    pub fn minus(self, other: RegSet) -> RegSet {
+        RegSet(self.0 & !other.0)
+    }
+
+    /// `true` when every member of `self` is in `other`.
+    pub fn subset_of(&self, other: &RegSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` when no register is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates members in ascending register order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        let bits = self.0;
+        (0..NUM_ARCH_REGS as u8)
+            .filter(move |i| bits & (1 << i) != 0)
+            .map(Reg::new)
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl std::fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "r{}", r.index())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl std::fmt::Display for RegSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Registers `inst` reads (excluding `r0`).
+pub fn reads(inst: &Inst) -> RegSet {
+    inst.srcs().collect()
+}
+
+/// The register `inst` writes, if any (writes to `r0` are discarded by
+/// the ISA and reported as `None`).
+pub fn writes(inst: &Inst) -> Option<Reg> {
+    inst.dst()
+}
+
+/// Per-block live-variable sets from a backward fixpoint.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    /// Registers live at block entry.
+    pub live_in: Vec<RegSet>,
+    /// Registers live at block exit.
+    pub live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Computes liveness over `cfg`.
+    pub fn compute(program: &Program, cfg: &Cfg) -> Liveness {
+        let nb = cfg.len();
+        // Block-local upward-exposed uses and kills.
+        let mut use_ = vec![RegSet::EMPTY; nb];
+        let mut def = vec![RegSet::EMPTY; nb];
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            for pc in blk.pcs() {
+                let inst = program.inst(pc);
+                use_[b] = use_[b].union(reads(inst).minus(def[b]));
+                if let Some(d) = writes(inst) {
+                    def[b].insert(d);
+                }
+            }
+        }
+        let mut live_in = vec![RegSet::EMPTY; nb];
+        let mut live_out = vec![RegSet::EMPTY; nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Postorder (reverse RPO) converges fastest for a backward
+            // problem; unreachable blocks are iterated program-order.
+            for b in (0..nb).rev() {
+                let mut out = RegSet::EMPTY;
+                for &s in &cfg.blocks()[b].succs {
+                    out = out.union(live_in[s]);
+                }
+                let inn = use_[b].union(out.minus(def[b]));
+                if out != live_out[b] || inn != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+}
+
+/// One definition site for reaching-definitions: a real instruction
+/// (`pc = Some`) or the synthetic entry definition modelling the
+/// architecturally zero-initialized register file (`pc = None`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DefSite {
+    /// Defining instruction, or `None` for the entry pseudo-definition.
+    pub pc: Option<Pc>,
+    /// Register defined.
+    pub reg: Reg,
+}
+
+/// Reaching definitions over the [`Cfg`], at basic-block granularity with
+/// an in-block scan for per-instruction queries.
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    /// All definition sites: one synthetic entry definition per register
+    /// (first `NUM_ARCH_REGS - 1` entries, `r1..r31`), then one per
+    /// defining instruction in program order.
+    sites: Vec<DefSite>,
+    /// Bit-matrix rows (one `Vec<u64>` per block) of sites reaching the
+    /// block entry.
+    reach_in: Vec<Vec<u64>>,
+}
+
+fn bit_get(row: &[u64], i: usize) -> bool {
+    row[i / 64] & (1 << (i % 64)) != 0
+}
+
+fn bit_set(row: &mut [u64], i: usize) {
+    row[i / 64] |= 1 << (i % 64);
+}
+
+impl ReachingDefs {
+    /// Computes reaching definitions for `program` over `cfg`.
+    pub fn compute(program: &Program, cfg: &Cfg) -> ReachingDefs {
+        // Site table: synthetic entry defs first, then real defs.
+        let mut sites: Vec<DefSite> = (1..NUM_ARCH_REGS as u8)
+            .map(|i| DefSite {
+                pc: None,
+                reg: Reg::new(i),
+            })
+            .collect();
+        let mut site_of_pc = vec![usize::MAX; program.len()];
+        for (pc, inst) in program.insts().iter().enumerate() {
+            if let Some(d) = inst.dst() {
+                site_of_pc[pc] = sites.len();
+                sites.push(DefSite {
+                    pc: Some(pc as Pc),
+                    reg: d,
+                });
+            }
+        }
+        let ns = sites.len();
+        let words = ns.div_ceil(64);
+        let nb = cfg.len();
+
+        // Per-block gen/kill. `gen` holds the last def of each register in
+        // the block; `kill_regs` the set of registers the block defines.
+        let mut gen_row = vec![vec![0u64; words]; nb];
+        let mut kill_regs = vec![RegSet::EMPTY; nb];
+        for (b, blk) in cfg.blocks().iter().enumerate() {
+            let mut last_def: [Option<usize>; NUM_ARCH_REGS] = [None; NUM_ARCH_REGS];
+            for pc in blk.pcs() {
+                if let Some(d) = program.inst(pc).dst() {
+                    last_def[d.index()] = Some(site_of_pc[pc as usize]);
+                    kill_regs[b].insert(d);
+                }
+            }
+            for s in last_def.into_iter().flatten() {
+                bit_set(&mut gen_row[b], s);
+            }
+        }
+        // Sites per register, to expand kill sets.
+        let mut sites_of_reg: Vec<Vec<usize>> = vec![Vec::new(); NUM_ARCH_REGS];
+        for (i, s) in sites.iter().enumerate() {
+            sites_of_reg[s.reg.index()].push(i);
+        }
+
+        let mut reach_in = vec![vec![0u64; words]; nb];
+        let mut reach_out = vec![vec![0u64; words]; nb];
+        // Entry boundary: the synthetic zero-init definitions.
+        let entry = cfg.block_of(program.entry());
+        let mut entry_row = vec![0u64; words];
+        for i in 0..NUM_ARCH_REGS - 1 {
+            bit_set(&mut entry_row, i);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 0..nb {
+                let mut inn = if b == entry {
+                    entry_row.clone()
+                } else {
+                    vec![0u64; words]
+                };
+                for &p in &cfg.blocks()[b].preds {
+                    for (w, &bits) in inn.iter_mut().zip(&reach_out[p]) {
+                        *w |= bits;
+                    }
+                }
+                // out = gen ∪ (in − kill)
+                let mut out = inn.clone();
+                for r in kill_regs[b].iter() {
+                    for &s in &sites_of_reg[r.index()] {
+                        out[s / 64] &= !(1 << (s % 64));
+                    }
+                }
+                // The synthetic def of a killed register is gone too —
+                // already handled: sites_of_reg includes pc None sites.
+                for (w, &bits) in out.iter_mut().zip(&gen_row[b]) {
+                    *w |= bits;
+                }
+                if inn != reach_in[b] || out != reach_out[b] {
+                    reach_in[b] = inn;
+                    reach_out[b] = out;
+                    changed = true;
+                }
+            }
+        }
+        ReachingDefs { sites, reach_in }
+    }
+
+    /// All definition sites (synthetic entry defs first).
+    pub fn sites(&self) -> &[DefSite] {
+        &self.sites
+    }
+
+    /// Definition sites reaching the entry of block `b`.
+    pub fn reaching_block_entry(&self, b: usize) -> Vec<DefSite> {
+        let row = &self.reach_in[b];
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| bit_get(row, i))
+            .map(|(_, &s)| s)
+            .collect()
+    }
+
+    /// Definition sites of `reg` reaching instruction `pc` (just before it
+    /// executes), by scanning forward from the block entry.
+    pub fn reaching_at(&self, program: &Program, cfg: &Cfg, pc: Pc, reg: Reg) -> Vec<DefSite> {
+        let b = cfg.block_of(pc);
+        let blk = &cfg.blocks()[b];
+        // Last in-block def of `reg` before `pc` shadows everything.
+        for p in (blk.start..pc).rev() {
+            if program.inst(p).dst() == Some(reg) {
+                return vec![DefSite { pc: Some(p), reg }];
+            }
+        }
+        let row = &self.reach_in[b];
+        self.sites
+            .iter()
+            .enumerate()
+            .filter(|&(i, s)| s.reg == reg && bit_get(row, i))
+            .map(|(_, &s)| s)
+            .collect()
+    }
+}
+
+/// Reads of registers that may still hold their architectural zero-init
+/// on some path — i.e. the synthetic entry definition reaches the read.
+/// Reported once per `(pc, reg)`, ascending, reachable code only.
+pub fn use_before_def(program: &Program, cfg: &Cfg, rd: &ReachingDefs) -> Vec<(Pc, Reg)> {
+    let mut out = Vec::new();
+    for (b, blk) in cfg.blocks().iter().enumerate() {
+        if !cfg.is_reachable(b) {
+            continue;
+        }
+        // Registers whose synthetic def still reaches, updated in-block.
+        let mut maybe_uninit = RegSet::EMPTY;
+        for s in rd.reaching_block_entry(b) {
+            if s.pc.is_none() {
+                maybe_uninit.insert(s.reg);
+            }
+        }
+        for pc in blk.pcs() {
+            let inst = program.inst(pc);
+            for r in reads(inst).iter() {
+                if maybe_uninit.contains(r) {
+                    out.push((pc, r));
+                }
+            }
+            if let Some(d) = inst.dst() {
+                maybe_uninit.remove(d);
+            }
+        }
+    }
+    out.sort_unstable_by_key(|&(pc, r)| (pc, r.index()));
+    out
+}
+
+/// [`use_before_def`] packaged as warning-severity findings.
+pub fn use_before_def_findings(program: &Program, cfg: &Cfg, rd: &ReachingDefs) -> Vec<Finding> {
+    use_before_def(program, cfg, rd)
+        .into_iter()
+        .map(|(pc, reg)| Finding::new(Defect::UseBeforeDef { pc, reg }))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_isa::ProgramBuilder;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn rs(regs: &[u8]) -> RegSet {
+        regs.iter().map(|&i| Reg::new(i)).collect()
+    }
+
+    #[test]
+    fn regset_ops() {
+        let mut s = RegSet::EMPTY;
+        s.insert(r(1));
+        s.insert(r(4));
+        s.insert(r(0)); // no-op
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(r(4)) && !s.contains(r(0)));
+        assert!(rs(&[1]).subset_of(&s));
+        assert_eq!(s.minus(rs(&[4])), rs(&[1]));
+        assert_eq!(format!("{s}"), "{r1, r4}");
+    }
+
+    #[test]
+    fn liveness_through_a_loop() {
+        // r2 (limit) and r1 (counter) are live around the back edge; r3 is
+        // dead after its final write.
+        let mut b = ProgramBuilder::new("live");
+        b.li(r(1), 0); // block 0
+        b.li(r(2), 10);
+        b.label("top");
+        b.addi(r(1), r(1), 1); // block 1
+        b.shli(r(3), r(1), 1);
+        b.blt(r(1), r(2), "top");
+        b.halt(); // block 2
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let lv = Liveness::compute(&p, &cfg);
+        assert_eq!(lv.live_in[0], RegSet::EMPTY);
+        assert_eq!(lv.live_in[1], rs(&[1, 2]));
+        assert_eq!(lv.live_out[1], rs(&[1, 2]));
+        assert_eq!(lv.live_out[2], RegSet::EMPTY);
+    }
+
+    #[test]
+    fn reaching_defs_merge_at_join() {
+        // Both arms of a diamond write r3; both defs reach the join.
+        let mut b = ProgramBuilder::new("join");
+        b.beq(r(1), r(2), "then"); // 0
+        b.li(r(3), 2); // 1
+        b.jump("join"); // 2
+        b.label("then");
+        b.li(r(3), 1); // 3
+        b.label("join");
+        b.add(r(4), r(3), r(3)); // 4
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let rd = ReachingDefs::compute(&p, &cfg);
+        let defs = rd.reaching_at(&p, &cfg, 4, r(3));
+        let pcs: Vec<Option<Pc>> = defs.iter().map(|d| d.pc).collect();
+        assert!(pcs.contains(&Some(1)) && pcs.contains(&Some(3)), "{pcs:?}");
+        // The zero-init def of r3 is killed on every path.
+        assert!(!pcs.contains(&None));
+    }
+
+    #[test]
+    fn use_before_def_found_on_one_path_only() {
+        // r3 is written only on the `then` arm, then read at the join: the
+        // fallthrough path still sees the zero-init value.
+        let mut b = ProgramBuilder::new("ubd");
+        b.beq(r(1), r(2), "then"); // 0 reads r1, r2 (both uninit too)
+        b.jump("join"); // 1
+        b.label("then");
+        b.li(r(3), 1); // 2
+        b.label("join");
+        b.add(r(4), r(3), r(0)); // 3 reads r3: maybe uninit
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let rd = ReachingDefs::compute(&p, &cfg);
+        let ubd = use_before_def(&p, &cfg, &rd);
+        assert!(ubd.contains(&(3, r(3))), "{ubd:?}");
+        assert!(ubd.contains(&(0, r(1))) && ubd.contains(&(0, r(2))));
+    }
+
+    #[test]
+    fn fully_initialized_program_has_no_ubd() {
+        let mut b = ProgramBuilder::new("init");
+        b.li(r(1), 5);
+        b.li(r(2), 6);
+        b.add(r(3), r(1), r(2));
+        b.halt();
+        let p = b.build();
+        let cfg = Cfg::build(&p);
+        let rd = ReachingDefs::compute(&p, &cfg);
+        assert!(use_before_def(&p, &cfg, &rd).is_empty());
+    }
+}

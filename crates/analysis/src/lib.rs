@@ -1,0 +1,327 @@
+//! # preexec-analysis
+//!
+//! Static analysis of `preexec-isa` programs and DDMT p-threads: CFG
+//! construction with basic blocks and dominators ([`cfg`]), iterative
+//! dataflow — live variables, reaching definitions, use-before-def —
+//! ([`dataflow`]), a whole-program lint pass ([`lint_program`]), and the
+//! p-thread verifier ([`verify_pthread`]).
+//!
+//! ## Which DDMT invariants are statically checkable
+//!
+//! The paper's p-threads are backward register-dependence slices spawned
+//! at trigger decode with a full register-file checkpoint. Several of
+//! their invariants are purely structural and are checked here without
+//! running a cycle of simulation:
+//!
+//! * **store-freedom** — a p-thread may never write memory
+//!   ([`Defect::StoreInPthread`]);
+//! * **control-freedom** — bodies are straight-line; branch *hints* are
+//!   metadata, not body instructions ([`Defect::ControlInPthread`],
+//!   [`Defect::NonDataflowInPthread`]);
+//! * **bounded bodies** — `len ≤ SliceConfig::max_body`
+//!   ([`Defect::BodyTooLong`]);
+//! * **well-formed anchoring** — trigger in range, every target a load,
+//!   every hint a branch ([`Defect::TriggerOutOfRange`],
+//!   [`Defect::TargetNotALoad`], [`Defect::HintNotABranch`]);
+//! * **live-in coverage** — the body's live-ins (registers read before
+//!   written, [`body_live_ins`]) are exactly what the spawn checkpoint
+//!   must supply; since DDMT checkpoints the whole register file this
+//!   holds by construction, and no register a p-thread *writes* can
+//!   clobber main-thread architectural state because the p-thread
+//!   register file is private;
+//! * **slice closure symptoms** — an ALU result no later body
+//!   instruction reads ([`Defect::DeadBodyInst`]) or an unmerged
+//!   induction pair ([`Defect::UncollapsedInduction`]) indicate slicer /
+//!   merger defects.
+//!
+//! Program-level lints cover malformed control (out-of-range targets,
+//! running off the code's end), unreachable blocks, infinite-loop shapes
+//! (no path from a reachable block to any exit), and reads that may still
+//! observe the architectural zero-init ([`Defect::UseBeforeDef`] — a
+//! *warning*, since zero-initialized reads are legal, merely suspicious).
+//!
+//! ## What stays dynamic
+//!
+//! Whether a program actually terminates (only the loop *shape* is
+//! checked), whether p-thread results match the main thread's values,
+//! cache/timing non-interference, and wrong-path spawn behavior are
+//! semantic properties — those are the province of the differential
+//! oracle (`preexec-oracle`) and the pipeline's `sanitize` feature, to
+//! which this crate is the cheap static front line.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cfg;
+pub mod dataflow;
+mod pthread;
+
+pub use cfg::{BasicBlock, Cfg};
+pub use dataflow::{
+    use_before_def, use_before_def_findings, DefSite, Liveness, ReachingDefs, RegSet,
+};
+pub use pthread::{body_live_ins, dead_body_insts, verify_pthread, PthreadShape};
+
+use preexec_isa::{Pc, Program, Reg};
+
+/// How serious a finding is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    /// Suspicious but legal; does not reject a program or p-thread.
+    Warning,
+    /// A structural invariant violation.
+    Error,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Every defect class the analyzer reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Defect {
+    /// A branch or jump targets a PC outside the program.
+    BranchTargetOutOfRange {
+        /// The control instruction.
+        pc: Pc,
+        /// Its out-of-range target.
+        target: Pc,
+    },
+    /// Execution can run past the last instruction without halting.
+    MissingHalt {
+        /// Final instruction of the offending path.
+        pc: Pc,
+    },
+    /// A basic block no path from the entry reaches.
+    UnreachableBlock {
+        /// First PC of the block.
+        start: Pc,
+    },
+    /// A reachable block from which no exit is reachable — the static
+    /// shape of an infinite loop.
+    NoPathToHalt {
+        /// First PC of the block.
+        start: Pc,
+    },
+    /// A read that may still observe the architectural zero-init.
+    UseBeforeDef {
+        /// The reading instruction.
+        pc: Pc,
+        /// The possibly-uninitialized register.
+        reg: Reg,
+    },
+    /// A p-thread with no instructions.
+    EmptyBody,
+    /// A p-thread body longer than the configured cap.
+    BodyTooLong {
+        /// Actual length.
+        len: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// A store inside a p-thread body (p-threads may never write memory).
+    StoreInPthread {
+        /// Body index of the store.
+        index: usize,
+    },
+    /// A branch or jump inside a p-thread body (bodies are control-less).
+    ControlInPthread {
+        /// Body index of the control instruction.
+        index: usize,
+    },
+    /// A nop/halt inside a p-thread body.
+    NonDataflowInPthread {
+        /// Body index of the instruction.
+        index: usize,
+    },
+    /// A p-thread trigger PC outside the program.
+    TriggerOutOfRange {
+        /// The trigger PC.
+        trigger: Pc,
+    },
+    /// A p-thread target PC that is not a load in the program.
+    TargetNotALoad {
+        /// The target PC.
+        pc: Pc,
+    },
+    /// A p-thread branch hint that is not a branch in the program.
+    HintNotABranch {
+        /// The hint PC.
+        pc: Pc,
+    },
+    /// A non-load body instruction whose result no later body instruction
+    /// reads — the symptom of a dropped consumer (non-closed slice).
+    DeadBodyInst {
+        /// Body index of the dead instruction.
+        index: usize,
+    },
+    /// Adjacent immediate self-updates of one register the slicer's
+    /// induction collapse should have merged.
+    UncollapsedInduction {
+        /// Body index of the first instruction of the pair.
+        index: usize,
+    },
+}
+
+impl Defect {
+    /// The severity class of this defect.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Defect::UnreachableBlock { .. }
+            | Defect::UseBeforeDef { .. }
+            | Defect::DeadBodyInst { .. }
+            | Defect::UncollapsedInduction { .. } => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl std::fmt::Display for Defect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Defect::BranchTargetOutOfRange { pc, target } => {
+                write!(
+                    f,
+                    "control at pc {pc} targets {target}, outside the program"
+                )
+            }
+            Defect::MissingHalt { pc } => {
+                write!(f, "execution can run past pc {pc} without halting")
+            }
+            Defect::UnreachableBlock { start } => {
+                write!(f, "block at pc {start} is unreachable")
+            }
+            Defect::NoPathToHalt { start } => {
+                write!(f, "no exit reachable from pc {start} (infinite-loop shape)")
+            }
+            Defect::UseBeforeDef { pc, reg } => {
+                write!(
+                    f,
+                    "pc {pc} reads r{} possibly before any definition",
+                    reg.index()
+                )
+            }
+            Defect::EmptyBody => write!(f, "p-thread body is empty"),
+            Defect::BodyTooLong { len, max } => {
+                write!(f, "p-thread body has {len} instructions, cap is {max}")
+            }
+            Defect::StoreInPthread { index } => {
+                write!(f, "store at body index {index} (p-threads are store-free)")
+            }
+            Defect::ControlInPthread { index } => {
+                write!(
+                    f,
+                    "control instruction at body index {index} (bodies are control-less)"
+                )
+            }
+            Defect::NonDataflowInPthread { index } => {
+                write!(f, "non-dataflow instruction at body index {index}")
+            }
+            Defect::TriggerOutOfRange { trigger } => {
+                write!(f, "trigger pc {trigger} is outside the program")
+            }
+            Defect::TargetNotALoad { pc } => {
+                write!(f, "target pc {pc} is not a load")
+            }
+            Defect::HintNotABranch { pc } => {
+                write!(f, "branch hint pc {pc} is not a branch")
+            }
+            Defect::DeadBodyInst { index } => {
+                write!(
+                    f,
+                    "body index {index}: result is never read later in the body"
+                )
+            }
+            Defect::UncollapsedInduction { index } => {
+                write!(
+                    f,
+                    "uncollapsed induction pair at body indices {index}..={}",
+                    index + 1
+                )
+            }
+        }
+    }
+}
+
+/// One analyzer finding: a [`Defect`] plus its [`Severity`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Finding {
+    /// Severity class ([`Defect::severity`] of `defect`).
+    pub severity: Severity,
+    /// What was found.
+    pub defect: Defect,
+}
+
+impl Finding {
+    /// Wraps `defect` with its canonical severity.
+    pub fn new(defect: Defect) -> Finding {
+        Finding {
+            severity: defect.severity(),
+            defect,
+        }
+    }
+
+    /// `true` for error-severity findings.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.severity, self.defect)
+    }
+}
+
+/// Lints a whole program: CFG shape (bad control targets, paths off the
+/// end of the code, unreachable blocks, infinite-loop shapes) plus
+/// use-before-def over reaching definitions.
+pub fn lint_program(program: &Program) -> Vec<Finding> {
+    let cfg = Cfg::build(program);
+    let mut out = cfg.findings();
+    let rd = ReachingDefs::compute(program, &cfg);
+    out.extend(use_before_def_findings(program, &cfg, &rd));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preexec_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn clean_program_lints_clean() {
+        let mut b = ProgramBuilder::new("clean");
+        let (r1, r2) = (Reg::new(1), Reg::new(2));
+        b.li(r1, 4);
+        b.label("top");
+        b.addi(r2, r2, 1); // reads r2... but r2 zero-init read
+        b.blt(r2, r1, "top");
+        b.halt();
+        let p = b.build();
+        // r2 is read before any write: one warning, nothing else.
+        let f = lint_program(&p);
+        assert!(f.iter().all(|f| !f.is_error()), "{f:?}");
+        assert!(f
+            .iter()
+            .any(|f| matches!(f.defect, Defect::UseBeforeDef { pc: 1, .. })));
+    }
+
+    #[test]
+    fn findings_render_with_severity() {
+        let f = Finding::new(Defect::StoreInPthread { index: 3 });
+        assert!(f.is_error());
+        assert_eq!(
+            f.to_string(),
+            "error: store at body index 3 (p-threads are store-free)"
+        );
+        let w = Finding::new(Defect::UnreachableBlock { start: 7 });
+        assert!(!w.is_error());
+        assert!(w.to_string().starts_with("warning: "));
+    }
+}

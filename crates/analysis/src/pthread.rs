@@ -1,0 +1,359 @@
+//! The static p-thread verifier.
+//!
+//! Checks the structural DDMT invariants on one p-thread against its host
+//! program: store-freedom, control-freedom, non-dataflow freedom, bounded
+//! body length, and well-formed trigger / target / branch-hint PCs. Also
+//! computes the body's live-in set (registers read before written, in
+//! body order) — the values the spawn-time register-file checkpoint must
+//! supply — and emits warning-level diagnostics for dead body
+//! instructions and uncollapsed induction pairs, both symptoms of a
+//! slicer or merger defect rather than of an unsound p-thread.
+
+use crate::dataflow::{reads, RegSet};
+use crate::{Defect, Finding};
+use preexec_isa::{AluOp, Inst, Pc, Program};
+
+/// A borrowed view of a p-thread, decoupled from `pthsel`'s concrete
+/// `PThread` struct so this crate only depends on the ISA.
+#[derive(Clone, Copy, Debug)]
+pub struct PthreadShape<'a> {
+    /// PC whose decode spawns the p-thread.
+    pub trigger_pc: Pc,
+    /// Body instructions, forward execution order.
+    pub body: &'a [Inst],
+    /// Problem-load PCs the p-thread prefetches for (may be empty for
+    /// fuzzed or hint-only p-threads).
+    pub targets: &'a [Pc],
+    /// Branch PC the body's last value predicts, if any.
+    pub branch_hint: Option<Pc>,
+}
+
+/// Registers the body reads before writing, in body order — the live-in
+/// set the spawn-time register checkpoint must cover. Since DDMT spawns
+/// checkpoint the *entire* main-thread register file, every live-in is
+/// covered by construction; the set is still the body's real input
+/// interface and is what makes oldest-first slice truncation sound.
+pub fn body_live_ins(body: &[Inst]) -> RegSet {
+    let mut live_in = RegSet::EMPTY;
+    let mut written = RegSet::EMPTY;
+    for inst in body {
+        live_in = live_in.union(reads(inst).minus(written));
+        if let Some(d) = inst.dst() {
+            written.insert(d);
+        }
+    }
+    live_in
+}
+
+/// Indices of non-load body instructions whose result is never read by a
+/// later body instruction before being overwritten. Loads are exempt:
+/// their architectural result may be dead while their prefetch is the
+/// whole point. A dead ALU instruction means the slicer kept a producer
+/// whose consumer was dropped — a non-closed body.
+pub fn dead_body_insts(body: &[Inst]) -> Vec<usize> {
+    let mut dead = Vec::new();
+    for (i, inst) in body.iter().enumerate() {
+        if inst.is_load() {
+            continue;
+        }
+        let Some(d) = inst.dst() else { continue };
+        let mut used = false;
+        for later in &body[i + 1..] {
+            if reads(later).contains(d) {
+                used = true;
+                break;
+            }
+            if later.dst() == Some(d) {
+                break; // overwritten before any read
+            }
+        }
+        if !used {
+            dead.push(i);
+        }
+    }
+    dead
+}
+
+/// `true` when `a` then `b` form an uncollapsed induction pair: two
+/// adjacent immediate self-updates of the same register that the slicer's
+/// `collapse_inductions` pass should have merged into one.
+fn uncollapsed_pair(a: &Inst, b: &Inst) -> bool {
+    let self_add = |i: &Inst| match *i {
+        Inst::AluImm {
+            op: AluOp::Add,
+            dst,
+            src1,
+            ..
+        } => (dst == src1).then_some(dst),
+        _ => None,
+    };
+    matches!((self_add(a), self_add(b)), (Some(x), Some(y)) if x == y)
+}
+
+/// Statically verifies one p-thread against its host program.
+///
+/// `max_body` is the configured body-length cap (`SliceConfig::max_body`
+/// for raw slicer candidates; composite merged p-threads may pass a
+/// scaled or unbounded cap). Returns every finding; gate on
+/// [`Severity::Error`](crate::Severity) for hard rejection.
+pub fn verify_pthread(program: &Program, p: &PthreadShape<'_>, max_body: usize) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if p.body.is_empty() {
+        out.push(Finding::new(Defect::EmptyBody));
+    }
+    if p.body.len() > max_body {
+        out.push(Finding::new(Defect::BodyTooLong {
+            len: p.body.len(),
+            max: max_body,
+        }));
+    }
+    for (index, inst) in p.body.iter().enumerate() {
+        if inst.is_store() {
+            out.push(Finding::new(Defect::StoreInPthread { index }));
+        } else if inst.is_control() {
+            out.push(Finding::new(Defect::ControlInPthread { index }));
+        } else if !inst.is_pthread_eligible() {
+            out.push(Finding::new(Defect::NonDataflowInPthread { index }));
+        }
+    }
+    if p.trigger_pc as usize >= program.len() {
+        out.push(Finding::new(Defect::TriggerOutOfRange {
+            trigger: p.trigger_pc,
+        }));
+    }
+    for &t in p.targets {
+        // Load p-threads target problem loads; branch p-threads (hint
+        // set) anchor their target list at the branches they were sliced
+        // from — composite merges can carry several.
+        let ok = match program.get(t) {
+            Some(Inst::Load { .. }) => true,
+            Some(Inst::Branch { .. }) => p.branch_hint.is_some(),
+            _ => false,
+        };
+        if !ok {
+            out.push(Finding::new(Defect::TargetNotALoad { pc: t }));
+        }
+    }
+    if let Some(h) = p.branch_hint {
+        if !matches!(program.get(h), Some(Inst::Branch { .. })) {
+            out.push(Finding::new(Defect::HintNotABranch { pc: h }));
+        }
+    }
+    for index in dead_body_insts(p.body) {
+        out.push(Finding::new(Defect::DeadBodyInst { index }));
+    }
+    for index in 0..p.body.len().saturating_sub(1) {
+        if uncollapsed_pair(&p.body[index], &p.body[index + 1]) {
+            out.push(Finding::new(Defect::UncollapsedInduction { index }));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+    use preexec_isa::{ProgramBuilder, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    fn host() -> Program {
+        let mut b = ProgramBuilder::new("host");
+        b.li(r(1), 0x1000); // 0
+        b.label("top");
+        b.addi(r(1), r(1), 8); // 1
+        b.ld(r(2), r(1), 0); // 2: the problem load
+        b.blt(r(2), r(3), "top"); // 3
+        b.halt(); // 4
+        b.build()
+    }
+
+    fn errors(f: &[Finding]) -> Vec<String> {
+        f.iter()
+            .filter(|f| f.severity == Severity::Error)
+            .map(|f| f.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn valid_slice_body_is_clean() {
+        let p = host();
+        let body = [*p.inst(1), *p.inst(2)];
+        let shape = PthreadShape {
+            trigger_pc: 1,
+            body: &body,
+            targets: &[2],
+            branch_hint: Some(3),
+        };
+        let f = verify_pthread(&p, &shape, 64);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(body_live_ins(&body), [r(1)].into_iter().collect());
+    }
+
+    #[test]
+    fn branch_pthread_targets_its_hinted_branch() {
+        // Branch pre-execution: the target list anchors at the predicted
+        // branch, not at a load; valid exactly when it equals the hint.
+        let p = host();
+        let body = [*p.inst(1), *p.inst(2)];
+        let shape = PthreadShape {
+            trigger_pc: 1,
+            body: &body,
+            targets: &[3],
+            branch_hint: Some(3),
+        };
+        let f = verify_pthread(&p, &shape, 64);
+        assert!(f.is_empty(), "{f:?}");
+        // Without the matching hint, a branch target is rejected.
+        let unhinted = PthreadShape {
+            branch_hint: None,
+            ..shape
+        };
+        assert!(verify_pthread(&p, &unhinted, 64)
+            .iter()
+            .any(|f| matches!(f.defect, Defect::TargetNotALoad { pc: 3 })));
+    }
+
+    #[test]
+    fn store_in_body_is_rejected() {
+        let p = host();
+        let body = [
+            *p.inst(1),
+            Inst::Store {
+                src: r(2),
+                base: r(1),
+                offset: 0,
+            },
+        ];
+        let shape = PthreadShape {
+            trigger_pc: 1,
+            body: &body,
+            targets: &[],
+            branch_hint: None,
+        };
+        let f = verify_pthread(&p, &shape, 64);
+        assert_eq!(errors(&f).len(), 1);
+        assert!(matches!(f[0].defect, Defect::StoreInPthread { index: 1 }));
+    }
+
+    #[test]
+    fn control_and_halt_in_body_are_rejected() {
+        let p = host();
+        let body = [*p.inst(3), Inst::Nop, Inst::Halt];
+        let shape = PthreadShape {
+            trigger_pc: 1,
+            body: &body,
+            targets: &[],
+            branch_hint: None,
+        };
+        let f = verify_pthread(&p, &shape, 64);
+        assert!(f
+            .iter()
+            .any(|f| matches!(f.defect, Defect::ControlInPthread { index: 0 })));
+        assert!(f
+            .iter()
+            .any(|f| matches!(f.defect, Defect::NonDataflowInPthread { index: 1 })));
+        assert!(f
+            .iter()
+            .any(|f| matches!(f.defect, Defect::NonDataflowInPthread { index: 2 })));
+    }
+
+    #[test]
+    fn empty_long_and_misplaced_shapes_are_rejected() {
+        let p = host();
+        let empty = PthreadShape {
+            trigger_pc: 99,
+            body: &[],
+            targets: &[0],
+            branch_hint: Some(2),
+        };
+        let f = verify_pthread(&p, &empty, 64);
+        assert!(f.iter().any(|f| matches!(f.defect, Defect::EmptyBody)));
+        assert!(f
+            .iter()
+            .any(|f| matches!(f.defect, Defect::TriggerOutOfRange { trigger: 99 })));
+        // pc 0 is an li, not a load; pc 2 is a load, not a branch.
+        assert!(f
+            .iter()
+            .any(|f| matches!(f.defect, Defect::TargetNotALoad { pc: 0 })));
+        assert!(f
+            .iter()
+            .any(|f| matches!(f.defect, Defect::HintNotABranch { pc: 2 })));
+
+        let body = vec![*p.inst(1); 3];
+        let long = PthreadShape {
+            trigger_pc: 1,
+            body: &body,
+            targets: &[],
+            branch_hint: None,
+        };
+        assert!(verify_pthread(&p, &long, 2)
+            .iter()
+            .any(|f| matches!(f.defect, Defect::BodyTooLong { len: 3, max: 2 })));
+    }
+
+    #[test]
+    fn dead_alu_inst_is_a_warning() {
+        let p = host();
+        // shli r5 is never read again: a dropped-consumer symptom.
+        let body = [
+            Inst::AluImm {
+                op: AluOp::Shl,
+                dst: r(5),
+                src1: r(1),
+                imm: 3,
+            },
+            *p.inst(1),
+            *p.inst(2),
+        ];
+        let shape = PthreadShape {
+            trigger_pc: 1,
+            body: &body,
+            targets: &[2],
+            branch_hint: None,
+        };
+        let f = verify_pthread(&p, &shape, 64);
+        assert_eq!(f.len(), 1);
+        assert!(matches!(f[0].defect, Defect::DeadBodyInst { index: 0 }));
+        assert_eq!(f[0].severity, Severity::Warning);
+        assert!(errors(&f).is_empty());
+    }
+
+    #[test]
+    fn uncollapsed_induction_pair_is_a_warning() {
+        let p = host();
+        let body = [*p.inst(1), *p.inst(1), *p.inst(2)];
+        let shape = PthreadShape {
+            trigger_pc: 1,
+            body: &body,
+            targets: &[2],
+            branch_hint: None,
+        };
+        let f = verify_pthread(&p, &shape, 64);
+        assert!(f
+            .iter()
+            .any(|f| matches!(f.defect, Defect::UncollapsedInduction { index: 0 })));
+        assert!(errors(&f).is_empty());
+    }
+
+    #[test]
+    fn recurrence_reads_count_as_live_ins() {
+        // addi r1, r1, 8 reads the checkpointed r1 even though the body
+        // also writes it.
+        let p = host();
+        let body = [*p.inst(1)];
+        assert_eq!(body_live_ins(&body), [r(1)].into_iter().collect());
+        let shape = PthreadShape {
+            trigger_pc: 1,
+            body: &body,
+            targets: &[],
+            branch_hint: None,
+        };
+        // The lone self-update's result is unread within the body — a
+        // warning-level dead instruction, but no errors.
+        assert!(errors(&verify_pthread(&p, &shape, 64)).is_empty());
+    }
+}

@@ -23,7 +23,8 @@
 //! predicts, so the machine can turn the computed outcome into a fetch
 //! hint.
 
-use crate::{select, PThread, Selection, SelectionTarget, SelectorInputs};
+use crate::select::{debug_verify_pthreads, select_raw};
+use crate::{PThread, Selection, SelectionTarget, SelectorInputs};
 use preexec_critpath::{LoadCost, ProblemBranch};
 use preexec_isa::Pc;
 
@@ -63,11 +64,15 @@ pub fn select_branch_pthreads(
         energy,
         ..*inputs
     };
-    let mut selection = select(&branch_inputs, target);
+    // `select_raw`, not `select`: until finalization below the bodies
+    // still carry the sliced branch roots, which the static verifier
+    // would (rightly) reject as control instructions.
+    let mut selection = select_raw(&branch_inputs, target);
     for p in &mut selection.pthreads {
         finalize_branch_pthread(p);
     }
     selection.pthreads.retain(|p| !p.body.is_empty());
+    debug_verify_pthreads(inputs.program, &selection.pthreads);
     selection
 }
 

@@ -162,6 +162,38 @@ pub struct SelectorInputs<'a> {
 /// negative. A post-pass merges selected p-threads with a common trigger
 /// into composite p-threads.
 pub fn select(inputs: &SelectorInputs<'_>, target: SelectionTarget) -> Selection {
+    let selection = select_raw(inputs, target);
+    debug_verify_pthreads(inputs.program, &selection.pthreads);
+    selection
+}
+
+/// Static verification of an accepted p-thread set (debug builds only):
+/// the downstream simulator assumes store-free, control-less,
+/// well-anchored bodies rather than checking them (see
+/// `preexec-analysis`). Composite merges may exceed one slice's
+/// `max_body`, so only structural shape is asserted here; `repro lint`
+/// applies the length cap to raw candidates.
+pub(crate) fn debug_verify_pthreads(program: &Program, pthreads: &[PThread]) {
+    debug_assert!(
+        pthreads.iter().all(|p| {
+            let shape = preexec_analysis::PthreadShape {
+                trigger_pc: p.trigger_pc,
+                body: &p.body,
+                targets: &p.targets,
+                branch_hint: p.branch_hint,
+            };
+            !preexec_analysis::verify_pthread(program, &shape, usize::MAX)
+                .iter()
+                .any(preexec_analysis::Finding::is_error)
+        }),
+        "selection accepted a statically invalid p-thread set"
+    );
+}
+
+/// [`select`] without the static-verification debug assertion — for the
+/// branch extension, whose raw selections still carry the sliced branch
+/// roots in their bodies until `finalize_branch_pthread` strips them.
+pub(crate) fn select_raw(inputs: &SelectorInputs<'_>, target: SelectionTarget) -> Selection {
     let lat = LatencyModel::new(
         inputs.machine,
         inputs.app.bw_seq_mt,

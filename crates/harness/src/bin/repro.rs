@@ -11,6 +11,10 @@
 //! on any mismatch, printing the failing case's replayable seed. Build
 //! with `--features sanitize` for per-cycle invariant checks too.
 //!
+//! `repro lint` runs the static analyzer (see `preexec_harness::lint`)
+//! over every kernel, every slicer candidate body, and the selected
+//! p-thread sets — no simulation involved. Exits 1 on any finding.
+//!
 //! Experiments run on the parallel caching [`Engine`]; set `REPRO_THREADS`
 //! to override the worker count (1 = serial; results are identical either
 //! way). With `--json`, results are emitted as machine-readable JSON (one
@@ -19,14 +23,15 @@
 //! cache hit/miss statistics. With `--progress`, the engine narrates
 //! pipeline builds and evaluations on stderr.
 
-use preexec_harness::{experiments, verify, Engine, ExpConfig};
+use preexec_harness::{experiments, lint, verify, Engine, ExpConfig};
 use preexec_json::{jobj, ToJson};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--json] [--metrics] [--progress] \
          <fig2|fig3|fig4|fig5a|fig5b|fig5c|tab12|tab3|ed2|branch|cfg|combined|all>\n\
-         \x20      repro verify [--json] [--cases N] [--seed S]"
+         \x20      repro verify [--json] [--cases N] [--seed S]\n\
+         \x20      repro lint [--json]"
     );
     std::process::exit(2);
 }
@@ -58,6 +63,21 @@ fn run_verify(json: bool, progress: bool, rest: &[String]) -> ! {
     }
     let engine = Engine::from_env().with_progress(progress);
     let summary = verify::run(&engine, &opts);
+    if json {
+        println!("{}", summary.to_json());
+    } else {
+        print!("{summary}");
+    }
+    std::process::exit(if summary.ok() { 0 } else { 1 });
+}
+
+/// `repro lint`: the static analyzer over every shipped artifact.
+fn run_lint(json: bool, progress: bool, rest: &[String]) -> ! {
+    if !rest.is_empty() {
+        usage();
+    }
+    let engine = Engine::from_env().with_progress(progress);
+    let summary = lint::run(&engine, &ExpConfig::default());
     if json {
         println!("{}", summary.to_json());
     } else {
@@ -121,6 +141,9 @@ fn main() {
     }
     if args[0] == "verify" {
         run_verify(json, progress, &args[1..]);
+    }
+    if args[0] == "lint" {
+        run_lint(json, progress, &args[1..]);
     }
     let engine = Engine::from_env().with_progress(progress);
     let cfg = ExpConfig::default();

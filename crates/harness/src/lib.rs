@@ -11,6 +11,9 @@
 //! differential pass from `preexec-oracle` over every workload kernel and
 //! a fuzzed program batch on the same engine; build with
 //! `--features sanitize` to add the pipeline's per-cycle invariant checks.
+//! `repro lint` (the [`lint`] module) runs the static analyzer from
+//! `preexec-analysis` over every kernel, slicer candidate, and selected
+//! p-thread set without simulating a cycle.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -18,6 +21,7 @@
 mod chart;
 mod engine;
 pub mod experiments;
+pub mod lint;
 pub mod metrics;
 mod setup;
 mod table;

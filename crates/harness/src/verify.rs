@@ -149,8 +149,12 @@ pub fn run(engine: &Engine, opts: &VerifyOptions) -> VerifySummary {
     );
 
     // Pass 3: fuzzed programs across the config grid, baseline and
-    // injected. Failure messages embed the (seed, case) pair; replay with
-    // `Gen::new(seed, case)` + `fuzz::gen_program`/`gen_pthreads`.
+    // injected. Each case first passes the static analyzer
+    // (`fuzz::static_precheck`) — the generator only emits well-formed
+    // artifacts, so an analyzer rejection is itself a reported
+    // analyzer-vs-generator disagreement. Failure messages embed the
+    // (seed, case) pair; replay with `Gen::new(seed, case)` +
+    // `fuzz::gen_program`/`gen_pthreads`.
     let seed = opts.seed;
     failures.extend(
         engine
@@ -159,7 +163,10 @@ pub fn run(engine: &Engine, opts: &VerifyOptions) -> VerifySummary {
                 let program = fuzz::gen_program(&mut g);
                 let pthreads = fuzz::gen_pthreads(&mut g, &program);
                 let label = format!("fuzz case {case} (seed {seed:#x})");
-                diff::check_across_grid(&program, &pthreads, &label).err()
+                fuzz::static_precheck(&program, &pthreads)
+                    .map_err(|e| format!("[{label}] {e}"))
+                    .and_then(|()| diff::check_across_grid(&program, &pthreads, &label))
+                    .err()
             })
             .into_iter()
             .flatten(),

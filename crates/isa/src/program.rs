@@ -42,6 +42,17 @@ impl Program {
         }
     }
 
+    /// Builds a program directly from raw instructions, with entry `0` and
+    /// an empty memory image.
+    ///
+    /// Unlike [`ProgramBuilder`](crate::ProgramBuilder), no label fixups or
+    /// validity checks run, so control targets may be out of range — this
+    /// is intended for static-analysis tooling and tests that need to
+    /// construct deliberately malformed programs.
+    pub fn from_raw(name: &str, insts: Vec<Inst>) -> Self {
+        Program::from_parts(name.to_string(), insts, 0, MemImage::new())
+    }
+
     /// The program's human-readable name.
     pub fn name(&self) -> &str {
         &self.name

@@ -278,6 +278,44 @@ pub fn gen_pthreads(g: &mut Gen, program: &Program) -> Vec<PThread> {
     out
 }
 
+/// Static analyzer pre-check on one fuzzed `(program, p-thread set)`
+/// pair, run before the differential check spends any simulated cycles.
+///
+/// The generator is structured to emit only well-formed artifacts, so an
+/// error-severity finding here means the analyzer and the generator
+/// disagree — itself a bug in one of them, and the returned message
+/// reports it as such. Warnings (zero-init reads, dead fuzz-body
+/// instructions) are legal generator output and are not gated on.
+pub fn static_precheck(program: &Program, pthreads: &[PThread]) -> Result<(), String> {
+    let mut errors: Vec<String> = preexec_analysis::lint_program(program)
+        .into_iter()
+        .filter(preexec_analysis::Finding::is_error)
+        .map(|f| format!("program: {f}"))
+        .collect();
+    for (i, p) in pthreads.iter().enumerate() {
+        let shape = preexec_analysis::PthreadShape {
+            trigger_pc: p.trigger_pc,
+            body: &p.body,
+            targets: &p.targets,
+            branch_hint: p.branch_hint,
+        };
+        errors.extend(
+            preexec_analysis::verify_pthread(program, &shape, MAX_BODY)
+                .into_iter()
+                .filter(preexec_analysis::Finding::is_error)
+                .map(|f| format!("p-thread {i} (trigger pc {}): {f}", p.trigger_pc)),
+        );
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "analyzer rejected generator output: {}",
+            errors.join("; ")
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +374,32 @@ mod tests {
                 assert!(pt.hint_lookahead >= 1);
             }
         });
+    }
+
+    #[test]
+    fn static_precheck_accepts_generator_output() {
+        run_cases(40, |g| {
+            let p = gen_program(g);
+            let pts = gen_pthreads(g, &p);
+            static_precheck(&p, &pts).unwrap();
+        });
+    }
+
+    #[test]
+    fn static_precheck_rejects_corrupted_pthread() {
+        let mut g = Gen::new(7, 0);
+        let p = gen_program(&mut g);
+        let mut pts = gen_pthreads(&mut g, &p);
+        while pts.is_empty() {
+            pts = gen_pthreads(&mut g, &p);
+        }
+        pts[0].body.push(Inst::Store {
+            src: Reg::new(1),
+            base: Reg::new(9),
+            offset: 0,
+        });
+        let err = static_precheck(&p, &pts).unwrap_err();
+        assert!(err.contains("store"), "{err}");
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! construction, and the failure report pins the reproducing seed.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use rand::{Rng, SeedableRng, StdRng};
 

@@ -233,7 +233,34 @@ impl<'p> Simulator<'p> {
 
     /// Installs the selected p-threads: the executable is "augmented" so
     /// that decoding a trigger PC spawns the corresponding body.
+    ///
+    /// With the `sanitize` feature, every installed p-thread first passes
+    /// the static verifier (`preexec-analysis`): the spawn paths below
+    /// assume store-free, control-less, well-anchored bodies, and a
+    /// violation here panics at install time instead of corrupting
+    /// architectural state mid-run.
     pub fn with_pthreads(mut self, pthreads: &[PThread]) -> Simulator<'p> {
+        #[cfg(feature = "sanitize")]
+        for (i, p) in pthreads.iter().enumerate() {
+            let shape = preexec_analysis::PthreadShape {
+                trigger_pc: p.trigger_pc,
+                body: &p.body,
+                targets: &p.targets,
+                branch_hint: p.branch_hint,
+            };
+            let errors: Vec<String> =
+                preexec_analysis::verify_pthread(self.program, &shape, usize::MAX)
+                    .into_iter()
+                    .filter(preexec_analysis::Finding::is_error)
+                    .map(|f| f.to_string())
+                    .collect();
+            assert!(
+                errors.is_empty(),
+                "[sanitize] p-thread {i} (trigger pc {}) failed static verification: {}",
+                p.trigger_pc,
+                errors.join("; ")
+            );
+        }
         for p in pthreads {
             let idx = self.bodies.len();
             self.bodies.push(p.body.clone());
@@ -1370,7 +1397,7 @@ mod tests {
         let pt = PThread {
             trigger_pc: 3,
             body,
-            targets: vec![0],
+            targets: vec![], // no real problem load in this synthetic program
             dc_trig: 50,
             dc_ptcm: 0,
             ladv_agg: 0.0,
@@ -1425,7 +1452,7 @@ mod tests {
         let pt = PThread {
             trigger_pc: 10,
             body,
-            targets: vec![0],
+            targets: vec![], // no real problem load in this synthetic program
             dc_trig: 1500,
             dc_ptcm: 0,
             ladv_agg: 0.0,

@@ -50,9 +50,36 @@ pub fn backward_slice(trace: &Trace, target: Seq, cfg: &SliceConfig) -> Vec<Seq>
             }
         }
     }
-    in_slice.sort_unstable_by(|a, b| b.cmp(a));
-    in_slice.truncate(cfg.max_body);
+    // Truncate oldest-first: when the closure exceeds `max_body`, the
+    // dropped elements must all be *older* than every kept one, so the
+    // kept suffix stays dependence-closed — a kept instruction's missing
+    // producers all executed before the eventual trigger and their values
+    // arrive through the spawn-time register checkpoint as live-ins.
+    // Dropping newest-first instead would cut consumers out of the middle
+    // of the chain and leave kept producers feeding nothing.
+    in_slice.sort_unstable();
+    let excess = in_slice.len().saturating_sub(cfg.max_body);
+    in_slice.drain(..excess);
+    in_slice.reverse();
+    debug_assert!(is_suffix_closed(trace, &in_slice, low));
     in_slice
+}
+
+/// `true` when every in-window dependence of a kept element is itself
+/// kept or precedes the oldest kept element (and is therefore visible in
+/// the spawn checkpoint). `slice` is in backward (descending) order.
+fn is_suffix_closed(trace: &Trace, slice: &[Seq], low: Seq) -> bool {
+    let Some(&oldest) = slice.last() else {
+        return true;
+    };
+    slice.iter().all(|&s| {
+        trace
+            .event(s)
+            .src_deps
+            .iter()
+            .flatten()
+            .all(|&dep| dep < low || dep < oldest || slice.contains(&dep))
+    })
 }
 
 #[cfg(test)]
@@ -146,6 +173,61 @@ mod tests {
         };
         let s = backward_slice(&t, 31, &cfg);
         assert_eq!(s, vec![31, 30, 29, 28]);
+    }
+
+    #[test]
+    fn truncated_slice_is_dependence_closed() {
+        // Two interleaved induction chains merging into the target's
+        // address: truncation must cut a clean *prefix* of history, never
+        // a producer whose consumer stays in the slice.
+        let mut b = ProgramBuilder::new("closure");
+        b.li(r(1), 0); // 0
+        b.li(r(2), 0); // 1
+        for _ in 0..15 {
+            b.addi(r(1), r(1), 1);
+            b.addi(r(2), r(2), 2);
+        }
+        b.add(r(3), r(1), r(2)); // 32
+        b.ld(r(4), r(3), 0); // 33
+        b.halt();
+        let p = b.build();
+        let t = FuncSim::new(&p).run_trace(100);
+        let cfg = SliceConfig {
+            max_body: 8,
+            ..SliceConfig::default()
+        };
+        let s = backward_slice(&t, 33, &cfg);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s[0], 33);
+        // Every kept element's dependence is kept or predates the whole
+        // kept suffix (checkpoint-supplied live-in).
+        let oldest = *s.last().unwrap();
+        for &seq in &s {
+            for dep in t.event(seq).src_deps.iter().flatten() {
+                assert!(
+                    s.contains(dep) || *dep < oldest,
+                    "kept {seq} depends on dropped mid-suffix {dep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_closed_suffix_is_detected() {
+        // Removing a mid-chain element (the shape a newest-first drop
+        // would produce) breaks closure, and the invariant check sees it.
+        let mut b = ProgramBuilder::new("broken");
+        b.li(r(1), 1); // 0
+        b.addi(r(1), r(1), 2); // 1
+        b.addi(r(1), r(1), 3); // 2
+        b.ld(r(2), r(1), 0); // 3
+        b.halt();
+        let p = b.build();
+        let t = FuncSim::new(&p).run_trace(100);
+        let s = backward_slice(&t, 3, &SliceConfig::default());
+        assert!(is_suffix_closed(&t, &s, 0));
+        let broken: Vec<Seq> = vec![3, 1, 0]; // dropped seq 2, kept its producer
+        assert!(!is_suffix_closed(&t, &broken, 0));
     }
 
     #[test]

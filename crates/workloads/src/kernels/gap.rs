@@ -54,7 +54,7 @@ pub fn build(input: InputSet) -> Program {
     );
     let (q, f2) = (Reg::new(10), Reg::new(11));
     b.li(i, 0).li(n, p.iters).li(t, tbl_base as i64);
-    b.li(sum, 0);
+    b.li(sum, 0).li(w1, 0).li(w2, 0);
     b.li(q, seed_addr as i64);
     b.ld(q, q, 0); // q0 = input seed
     b.label("loop");

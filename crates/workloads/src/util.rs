@@ -88,6 +88,10 @@ pub fn emit_compute_phase(b: &mut preexec_isa::ProgramBuilder, tag: &str, iters:
     let (cnt, lim, x, y) = (Reg::new(24), Reg::new(25), Reg::new(26), Reg::new(27));
     let label = format!("__compute_{tag}");
     b.li(cnt, 0).li(lim, iters);
+    // Explicit scratch init: the mixing below starts from zero either
+    // way, but relying on the architectural zero-init reads as a
+    // use-before-def to the static analyzer (`repro lint`).
+    b.li(x, 0).li(y, 0);
     b.label(label.clone());
     b.addi(x, x, 3);
     b.muli(y, y, 13);

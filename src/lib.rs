@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use preexec_analysis as analysis;
 pub use preexec_bpred as bpred;
 pub use preexec_critpath as critpath;
 pub use preexec_energy as energy;

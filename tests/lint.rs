@@ -1,0 +1,136 @@
+//! Cross-layer integration tests for the static analyzer: slicer output
+//! must satisfy the p-thread verifier, every shipped kernel must lint
+//! clean, and analyzer-accepted fuzzed p-threads must never trip the
+//! pipeline's dynamic sanitizer (run with `--features sanitize` for the
+//! strong version — CI does).
+
+use preexec::analysis::{self, PthreadShape};
+use preexec::isa::{Inst, ProgramBuilder, Reg};
+use preexec::oracle::fuzz;
+use preexec::sim::{SimConfig, Simulator};
+use preexec::slicer::{backward_slice, SliceConfig};
+use preexec::trace::FuncSim;
+use preexec::workloads;
+use preexec_prop::run_cases;
+
+fn r(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// The slicer's oldest-first truncation hands the analyzer a closed
+/// suffix: the body verifies with no findings and its live-in set is
+/// exactly the register whose producers were cut (supplied by the DDMT
+/// spawn checkpoint).
+#[test]
+fn truncated_slice_bodies_pass_the_analyzer() {
+    let mut b = ProgramBuilder::new("chain");
+    b.li(r(1), 0); // 0
+    for _ in 0..30 {
+        b.addi(r(1), r(1), 1); // 1..=30
+    }
+    b.ld(r(2), r(1), 0); // 31
+    b.halt();
+    let p = b.build();
+    let t = FuncSim::new(&p).run_trace(100);
+    let cfg = SliceConfig {
+        max_body: 4,
+        ..SliceConfig::default()
+    };
+    let s = backward_slice(&t, 31, &cfg);
+    assert_eq!(s.len(), 4);
+    // Straight-line code: dynamic seq == static pc, so the body is the
+    // kept sequence numbers in forward order.
+    let body: Vec<Inst> = s.iter().rev().map(|&seq| *p.inst(seq as u32)).collect();
+    let shape = PthreadShape {
+        trigger_pc: *s.last().unwrap() as u32,
+        body: &body,
+        targets: &[31],
+        branch_hint: None,
+    };
+    let findings = analysis::verify_pthread(&p, &shape, cfg.max_body);
+    // No structural errors. The raw slice legitimately warns about its
+    // adjacent self-adds — exactly the symptom the slicer's downstream
+    // `collapse_inductions` pass exists to remove.
+    assert!(
+        !findings.iter().any(analysis::Finding::is_error),
+        "{findings:?}"
+    );
+    assert!(findings
+        .iter()
+        .all(|f| matches!(f.defect, analysis::Defect::UncollapsedInduction { .. })));
+    // r1's remaining producers were truncated away — it is the body's
+    // (checkpoint-covered) live-in.
+    assert_eq!(analysis::body_live_ins(&body), [r(1)].into_iter().collect());
+}
+
+/// Every shipped kernel program (plus the worked example) lints clean —
+/// the cheap, no-engine core of what `repro lint` asserts in CI.
+#[test]
+fn all_kernel_programs_lint_clean() {
+    let mut names = vec!["fig1"];
+    names.extend(workloads::NAMES);
+    for name in names {
+        for input in [workloads::InputSet::Train, workloads::InputSet::Ref] {
+            let p = workloads::build(name, input).expect("known kernel");
+            let findings = analysis::lint_program(&p);
+            assert!(findings.is_empty(), "{name}/{input:?}: {findings:?}");
+        }
+    }
+}
+
+/// Property: any fuzzed (program, p-thread set) pair the static analyzer
+/// accepts runs to completion on the pipeline without tripping the
+/// dynamic sanitizer's install-time or per-cycle checks.
+#[test]
+fn analyzer_accepted_fuzz_never_trips_the_sanitizer() {
+    run_cases(12, |g| {
+        let p = fuzz::gen_program(g);
+        let pts = fuzz::gen_pthreads(g, &p);
+        fuzz::static_precheck(&p, &pts).expect("generator output must pass the static pre-check");
+        let cfg = SimConfig {
+            max_cycles: 20_000_000,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulator::new(&p, cfg).with_pthreads(&pts);
+        let report = sim.run();
+        assert!(
+            report.finished,
+            "case {}: pipeline hit the cycle cap",
+            g.case
+        );
+    });
+}
+
+/// The sanitize-gated install hook rejects what the analyzer rejects: a
+/// store smuggled into a body panics at install time instead of writing
+/// main-thread memory mid-run. (Compiled only with the feature.)
+#[cfg(feature = "sanitize")]
+#[test]
+fn sanitizer_rejects_store_bodies_at_install() {
+    let mut b = ProgramBuilder::new("host");
+    b.li(r(1), 0x1000);
+    b.ld(r(2), r(1), 0);
+    b.halt();
+    let p = b.build();
+    let bad = preexec::pthsel::PThread {
+        trigger_pc: 0,
+        body: vec![Inst::Store {
+            src: r(2),
+            base: r(1),
+            offset: 0,
+        }],
+        targets: vec![],
+        dc_trig: 0,
+        dc_ptcm: 0,
+        ladv_agg: 0.0,
+        eadv_agg: 0.0,
+        branch_hint: None,
+        hint_lookahead: 1,
+    };
+    let err = std::panic::catch_unwind(|| {
+        let _ = Simulator::new(&p, SimConfig::default()).with_pthreads(std::slice::from_ref(&bad));
+    })
+    .unwrap_err();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.contains("static verification"), "{msg}");
+}
