@@ -23,15 +23,20 @@
 //! cache hit/miss statistics. With `--progress`, the engine narrates
 //! pipeline builds and evaluations on stderr.
 
-use preexec_harness::{experiments, lint, verify, Engine, ExpConfig};
+use preexec_harness::{experiments, lint, service, verify, Engine, ExpConfig};
 use preexec_json::{jobj, ToJson};
+use preexec_server::loadgen;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--json] [--metrics] [--progress] \
          <fig2|fig3|fig4|fig5a|fig5b|fig5c|tab12|tab3|ed2|branch|cfg|combined|all>\n\
          \x20      repro verify [--json] [--cases N] [--seed S]\n\
-         \x20      repro lint [--json]"
+         \x20      repro lint [--json]\n\
+         \x20      repro serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--cache N] [--deadline-ms N] [--progress]\n\
+         \x20      repro loadgen [--json] [--addr HOST:PORT] [--conns N] [--requests M] \
+         [--endpoint healthz|metrics|select|sim|tab12|fig2|fig5a|shutdown]"
     );
     std::process::exit(2);
 }
@@ -84,6 +89,87 @@ fn run_lint(json: bool, progress: bool, rest: &[String]) -> ! {
         print!("{summary}");
     }
     std::process::exit(if summary.ok() { 0 } else { 1 });
+}
+
+/// `repro serve`: boots the selection service and blocks until a client
+/// posts `/v1/shutdown`.
+fn run_serve(progress: bool, rest: &[String]) -> ! {
+    let mut opts = service::ServeOptions {
+        progress,
+        ..service::ServeOptions::default()
+    };
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => opts.addr = a.clone(),
+                None => usage(),
+            },
+            "--workers" | "--queue" | "--cache" => {
+                let Some(n) = it.next().and_then(|v| v.parse().ok()) else {
+                    usage()
+                };
+                match arg.as_str() {
+                    "--workers" => opts.workers = n,
+                    "--queue" => opts.queue_cap = n,
+                    _ => opts.cache_cap = n,
+                }
+            }
+            "--deadline-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => opts.deadline_ms = n,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let handle = match service::serve(&opts, None) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("repro serve: cannot bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("{}", jobj! { "serving" => format!("{}", handle.addr()) });
+    handle.join();
+    std::process::exit(0);
+}
+
+/// `repro loadgen`: closed-loop load against a running `repro serve`.
+fn run_loadgen(json: bool, rest: &[String]) -> ! {
+    let mut cfg = loadgen::LoadgenConfig::default();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(a) => cfg.addr = a.clone(),
+                None => usage(),
+            },
+            "--conns" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.conns = n,
+                None => usage(),
+            },
+            "--requests" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.requests = n,
+                None => usage(),
+            },
+            "--endpoint" => match it.next().and_then(|name| service::endpoint(name)) {
+                Some((method, path, body)) => {
+                    cfg.method = method.to_string();
+                    cfg.path = path;
+                    cfg.body = body;
+                }
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let report = loadgen::run(&cfg);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    std::process::exit(if report.clean() { 0 } else { 1 });
 }
 
 fn run_one(engine: &Engine, id: &str, cfg: &ExpConfig, json: bool) {
@@ -144,6 +230,12 @@ fn main() {
     }
     if args[0] == "lint" {
         run_lint(json, progress, &args[1..]);
+    }
+    if args[0] == "serve" {
+        run_serve(progress, &args[1..]);
+    }
+    if args[0] == "loadgen" {
+        run_loadgen(json, &args[1..]);
     }
     let engine = Engine::from_env().with_progress(progress);
     let cfg = ExpConfig::default();

@@ -60,6 +60,10 @@ fn memo<T>(map: &SlotMap<T>, key: String, build: impl FnOnce() -> T) -> (Arc<T>,
     }
 }
 
+/// Where engine progress lines go: any thread-safe callback (stderr for
+/// the CLI, the event bus for the server).
+pub type ProgressSink = Arc<dyn Fn(&str) + Send + Sync>;
+
 /// The parallel, caching experiment driver. Create one per process (or
 /// per test) and pass it to every experiment.
 pub struct Engine {
@@ -76,7 +80,7 @@ pub struct Engine {
     /// type-erased so the engine stays decoupled from experiment types.
     aux: SlotMap<Box<dyn std::any::Any + Send + Sync>>,
     metrics: Metrics,
-    progress: bool,
+    sink: Option<ProgressSink>,
 }
 
 impl Engine {
@@ -90,27 +94,44 @@ impl Engine {
             sims: Mutex::new(HashMap::new()),
             aux: Mutex::new(HashMap::new()),
             metrics: Metrics::new(),
-            progress: false,
+            sink: None,
         }
     }
 
-    /// An engine sized from `REPRO_THREADS` if set (and parseable), else
-    /// the host's available parallelism.
+    /// Resolves a worker count from an optional `REPRO_THREADS`-style
+    /// value: a positive integer is taken literally; absent, unparsable,
+    /// or zero all fall back to the host's available parallelism (a
+    /// misconfigured environment degrades to the default instead of
+    /// pinning the engine serial).
+    pub fn threads_from(value: Option<&str>) -> usize {
+        match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+
+    /// An engine sized from `REPRO_THREADS` (see [`Engine::threads_from`]).
     pub fn from_env() -> Engine {
-        let threads = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        Engine::new(threads)
+        Engine::new(Engine::threads_from(
+            std::env::var(THREADS_ENV).ok().as_deref(),
+        ))
     }
 
     /// Enables live progress lines on stderr.
-    pub fn with_progress(mut self, on: bool) -> Engine {
-        self.progress = on;
+    pub fn with_progress(self, on: bool) -> Engine {
+        if on {
+            self.with_progress_sink(Arc::new(|line: &str| eprintln!("[engine] {line}")))
+        } else {
+            Engine { sink: None, ..self }
+        }
+    }
+
+    /// Routes progress lines into an arbitrary sink (the server feeds
+    /// them onto its SSE event bus).
+    pub fn with_progress_sink(mut self, sink: ProgressSink) -> Engine {
+        self.sink = Some(sink);
         self
     }
 
@@ -125,8 +146,8 @@ impl Engine {
     }
 
     fn say(&self, msg: impl FnOnce() -> String) {
-        if self.progress {
-            eprintln!("[engine] {}", msg());
+        if let Some(sink) = &self.sink {
+            sink(&msg());
         }
     }
 
@@ -226,9 +247,14 @@ impl Engine {
         key: String,
         build: impl FnOnce() -> T,
     ) -> Arc<T> {
-        let (boxed, _hit) = memo(&self.aux, key, || {
+        let (boxed, hit) = memo(&self.aux, key, || {
             Box::new(Arc::new(build())) as Box<dyn std::any::Any + Send + Sync>
         });
+        if hit {
+            self.metrics.add_aux_hit();
+        } else {
+            self.metrics.add_aux_miss();
+        }
         boxed
             .downcast_ref::<Arc<T>>()
             .expect("aux cache key reused with a different type")
@@ -323,6 +349,51 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn threads_from_falls_back_on_zero_and_garbage() {
+        let default = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        assert_eq!(Engine::threads_from(Some("3")), 3);
+        assert_eq!(Engine::threads_from(Some(" 12 ")), 12);
+        assert_eq!(Engine::threads_from(Some("0")), default, "0 is not serial");
+        assert_eq!(Engine::threads_from(Some("lots")), default);
+        assert_eq!(Engine::threads_from(Some("-2")), default);
+        assert_eq!(Engine::threads_from(Some("")), default);
+        assert_eq!(Engine::threads_from(None), default);
+    }
+
+    #[test]
+    fn progress_sink_receives_engine_lines() {
+        let lines = Arc::new(Mutex::new(Vec::<String>::new()));
+        let captured = lines.clone();
+        let e = Engine::new(1).with_progress_sink(Arc::new(move |line: &str| {
+            captured.lock().unwrap().push(line.to_string());
+        }));
+        let cfg = ExpConfig::default();
+        let prep = e.prepared("gap", &cfg);
+        e.evaluate(&prep, SelectionTarget::Latency);
+        let lines = lines.lock().unwrap();
+        assert!(
+            lines.iter().any(|l| l.contains("prepared gap")),
+            "sink saw the prepare line: {lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("evaluated gap/")),
+            "sink saw the evaluate line: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn aux_cache_hits_and_misses_are_counted() {
+        let e = Engine::new(1);
+        let a = e.cached("test:k".to_string(), || 41);
+        assert_eq!((e.metrics().aux_misses(), e.metrics().aux_hits()), (1, 0));
+        let b = e.cached("test:k".to_string(), || 999);
+        assert_eq!((e.metrics().aux_misses(), e.metrics().aux_hits()), (1, 1));
+        assert_eq!((*a, *b), (41, 41), "second build never runs");
+    }
 
     #[test]
     fn par_map_preserves_order() {

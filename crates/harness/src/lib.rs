@@ -23,12 +23,13 @@ mod engine;
 pub mod experiments;
 pub mod lint;
 pub mod metrics;
+pub mod service;
 mod setup;
 mod table;
 pub mod verify;
 
 pub use chart::{signed_bars, stacked_bars};
-pub use engine::{Engine, THREADS_ENV};
+pub use engine::{Engine, ProgressSink, THREADS_ENV};
 pub use metrics::{Metrics, Stage};
 pub use setup::{ExpConfig, Prepared, PreparedBase, PreparedCore, TargetResult};
 pub use table::{num1, pct, ratio, TextTable};

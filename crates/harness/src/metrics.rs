@@ -79,6 +79,8 @@ pub struct Metrics {
     base_misses: AtomicU64,
     sim_hits: AtomicU64,
     sim_misses: AtomicU64,
+    aux_hits: AtomicU64,
+    aux_misses: AtomicU64,
     cells: AtomicU64,
 }
 
@@ -149,6 +151,16 @@ impl Metrics {
         self.sim_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records an experiment-owned aux-cache hit (see `Engine::cached`).
+    pub fn add_aux_hit(&self) {
+        self.aux_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an experiment-owned aux-cache miss.
+    pub fn add_aux_miss(&self) {
+        self.aux_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one evaluated (benchmark × config × target) cell.
     pub fn add_cell(&self) {
         self.cells.fetch_add(1, Ordering::Relaxed);
@@ -182,6 +194,16 @@ impl Metrics {
     /// Optimized-simulation memo misses so far.
     pub fn sim_misses(&self) -> u64 {
         self.sim_misses.load(Ordering::Relaxed)
+    }
+
+    /// Aux-cache hits so far.
+    pub fn aux_hits(&self) -> u64 {
+        self.aux_hits.load(Ordering::Relaxed)
+    }
+
+    /// Aux-cache misses so far.
+    pub fn aux_misses(&self) -> u64 {
+        self.aux_misses.load(Ordering::Relaxed)
     }
 
     /// Evaluated cells so far.
@@ -226,7 +248,9 @@ impl Metrics {
                     .with("base_hits", self.base_hits())
                     .with("base_misses", self.base_misses())
                     .with("sim_hits", self.sim_hits())
-                    .with("sim_misses", self.sim_misses()),
+                    .with("sim_misses", self.sim_misses())
+                    .with("aux_hits", self.aux_hits())
+                    .with("aux_misses", self.aux_misses()),
             )
     }
 }

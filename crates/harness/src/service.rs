@@ -1,0 +1,378 @@
+//! The application half of `repro serve`: endpoint routing over the
+//! experiment [`Engine`], built on the generic `preexec-server` kit.
+//!
+//! Endpoints:
+//!
+//! - `GET /healthz` — liveness.
+//! - `GET /metrics` — serving-layer counters (admission, singleflight,
+//!   cache, deadlines) plus the engine's full metrics snapshot.
+//! - `POST /v1/select` — run PTHSEL(+E) for one benchmark/target, with
+//!   optional config overrides; returns the selected p-thread set and
+//!   its predicted LADV/EADV.
+//! - `POST /v1/sim` — select *and* simulate; returns speedup / energy /
+//!   ED ratios vs. the baseline plus the full simulator report.
+//! - `POST /v1/experiments/{tab12,fig2,fig5a}` — regenerate a paper
+//!   artifact; the body is byte-identical to `repro --json <id>` output.
+//! - `POST /v1/shutdown` — graceful drain.
+//!
+//! Expensive endpoints go through the kit's full serving path: bounded
+//! admission (429 on overload), singleflight + LRU keyed on the
+//! request's canonical DTO form, per-request deadlines (504), and
+//! optional SSE progress (`?stream=sse`) fed by the engine's progress
+//! sink.
+
+use crate::engine::{Engine, ProgressSink};
+use crate::experiments;
+use crate::metrics::Stage;
+use crate::setup::ExpConfig;
+use preexec_json::dto::{
+    EvalRequest, ExperimentRequest, PThreadSummary, SelectResponse, SimResponse, EXPERIMENT_IDS,
+};
+use preexec_json::{jobj, parse, ToJson};
+use preexec_server::{
+    Bus, Request, Response, Route, ServerConfig, ServerCtx, ServerHandle, Service,
+};
+use pthsel::{Selection, SelectionTarget};
+use std::sync::Arc;
+
+/// How `repro serve` shapes the server.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Bind address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Worker threads bridging requests onto the engine (0 ⇒ host
+    /// parallelism).
+    pub workers: usize,
+    /// Admission-queue depth; beyond it requests get 429.
+    pub queue_cap: usize,
+    /// Response-cache entries (0 disables).
+    pub cache_cap: usize,
+    /// Default per-request deadline (overridable via `x-deadline-ms`).
+    pub deadline_ms: u64,
+    /// Also narrate engine progress on stderr.
+    pub progress: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            addr: "127.0.0.1:7071".to_string(),
+            workers: 0,
+            queue_cap: 64,
+            cache_cap: 256,
+            deadline_ms: 300_000,
+            progress: false,
+        }
+    }
+}
+
+/// Maps a loadgen endpoint shorthand to `(method, path, body)` —
+/// shared by `repro loadgen` and the CI smoke so they can't drift.
+pub fn endpoint(name: &str) -> Option<(&'static str, String, String)> {
+    match name {
+        "healthz" => Some(("GET", "/healthz".to_string(), String::new())),
+        "metrics" => Some(("GET", "/metrics".to_string(), String::new())),
+        "select" => Some((
+            "POST",
+            "/v1/select".to_string(),
+            r#"{"bench":"gap"}"#.to_string(),
+        )),
+        "sim" => Some((
+            "POST",
+            "/v1/sim".to_string(),
+            r#"{"bench":"gap"}"#.to_string(),
+        )),
+        id if EXPERIMENT_IDS.contains(&id) => {
+            Some(("POST", format!("/v1/experiments/{id}"), String::new()))
+        }
+        "shutdown" => Some(("POST", "/v1/shutdown".to_string(), String::new())),
+        _ => None,
+    }
+}
+
+/// Resolves the validated DTO target name to the selector's enum.
+fn parse_target(name: &str, weight: Option<f64>) -> SelectionTarget {
+    match name {
+        "classic" => SelectionTarget::Classic,
+        "energy" => SelectionTarget::Energy,
+        "ed" => SelectionTarget::Ed,
+        "ed2" => SelectionTarget::Ed2,
+        "weighted" => SelectionTarget::Weighted(weight.unwrap_or(0.5)),
+        _ => SelectionTarget::Latency,
+    }
+}
+
+/// Report label for a target (`"W{w}"` for arbitrary weights).
+fn target_label(target: SelectionTarget) -> String {
+    match target {
+        SelectionTarget::Weighted(w) => format!("W{w}"),
+        t => t.label().to_string(),
+    }
+}
+
+/// Applies a request's config overrides to the service's base config.
+fn config_for(req: &EvalRequest, base: &ExpConfig) -> ExpConfig {
+    let mut cfg = *base;
+    if let Some(cap) = req.trace_cap {
+        cfg.trace_cap = cap;
+    }
+    if let Some(lat) = req.mem_latency {
+        cfg.sim = cfg.sim.with_mem_latency(lat);
+    }
+    if let Some(idle) = req.idle_factor {
+        cfg.energy = cfg.energy.with_idle_factor(idle);
+    }
+    cfg
+}
+
+fn summarize(selection: &Selection) -> Vec<PThreadSummary> {
+    selection
+        .pthreads
+        .iter()
+        .map(|p| PThreadSummary {
+            trigger_pc: p.trigger_pc as u64,
+            body_len: p.body.len() as u64,
+            targets: p.targets.len() as u64,
+            dc_trig: p.dc_trig as f64,
+            dc_ptcm: p.dc_ptcm as f64,
+            ladv: p.ladv_agg,
+            eadv: p.eadv_agg,
+        })
+        .collect()
+}
+
+/// The [`Service`] implementation over one shared [`Engine`].
+pub struct EngineService {
+    engine: Arc<Engine>,
+    cfg: ExpConfig,
+}
+
+impl EngineService {
+    /// A service evaluating requests on `engine` with `cfg` as the base
+    /// (per-request overrides layer on top).
+    pub fn new(engine: Arc<Engine>, cfg: ExpConfig) -> EngineService {
+        EngineService { engine, cfg }
+    }
+
+    /// Parses + validates an eval body, or produces the 400.
+    fn eval_request(&self, req: &Request) -> Result<EvalRequest, Response> {
+        let body = req
+            .body_str()
+            .map_err(|e| Response::error(400, &format!("body is not utf-8: {e}")))?;
+        let json =
+            parse(body).map_err(|e| Response::error(400, &format!("malformed JSON: {e}")))?;
+        let eval = EvalRequest::from_json(&json).map_err(|e| Response::error(400, &e))?;
+        if !preexec_workloads::NAMES.contains(&eval.bench.as_str()) {
+            return Err(Response::error(
+                400,
+                &format!(
+                    "unknown benchmark {:?} (expected one of {:?})",
+                    eval.bench,
+                    preexec_workloads::NAMES
+                ),
+            ));
+        }
+        Ok(eval)
+    }
+
+    fn route_select(&self, req: &Request) -> Route {
+        let eval = match self.eval_request(req) {
+            Ok(e) => e,
+            Err(resp) => return Route::Inline(resp),
+        };
+        let engine = self.engine.clone();
+        let cfg = config_for(&eval, &self.cfg);
+        let target = parse_target(&eval.target, eval.weight);
+        Route::Work {
+            key: Some(format!("select|{}", eval.canonical())),
+            compute: Box::new(move || {
+                let prep = engine.prepared(&eval.bench, &cfg);
+                let selection = engine.metrics().time(Stage::Select, || prep.select(target));
+                let resp = SelectResponse {
+                    bench: eval.bench.clone(),
+                    target: eval.target.clone(),
+                    label: target_label(target),
+                    pthreads: summarize(&selection),
+                    predicted_ladv: selection.predicted_ladv,
+                    predicted_eadv: selection.predicted_eadv,
+                };
+                Response::json(200, &resp.to_json())
+            }),
+        }
+    }
+
+    fn route_sim(&self, req: &Request) -> Route {
+        let eval = match self.eval_request(req) {
+            Ok(e) => e,
+            Err(resp) => return Route::Inline(resp),
+        };
+        let engine = self.engine.clone();
+        let cfg = config_for(&eval, &self.cfg);
+        let target = parse_target(&eval.target, eval.weight);
+        Route::Work {
+            key: Some(format!("sim|{}", eval.canonical())),
+            compute: Box::new(move || {
+                let prep = engine.prepared(&eval.bench, &cfg);
+                let result = engine.evaluate(&prep, target);
+                let base = &prep.baseline;
+                let resp = SimResponse {
+                    bench: eval.bench.clone(),
+                    target: eval.target.clone(),
+                    speedup: base.cycles as f64 / result.report.cycles as f64,
+                    energy_ratio: result.report.total_energy(&cfg.energy)
+                        / base.total_energy(&cfg.energy),
+                    ed_ratio: result.report.ed(&cfg.energy) / base.ed(&cfg.energy),
+                    report: result.report.to_json(),
+                };
+                Response::json(200, &resp.to_json())
+            }),
+        }
+    }
+
+    fn route_experiment(&self, req: &Request, id: &str) -> Route {
+        let exp = match ExperimentRequest::from_id(id) {
+            Ok(e) => e,
+            Err(e) => return Route::Inline(Response::error(404, &e)),
+        };
+        // A body is optional; when present it must be the strict DTO and
+        // agree with the path.
+        if let Ok(body) = req.body_str() {
+            if !body.trim().is_empty() {
+                match parse(body).and_then(|j| ExperimentRequest::from_json(&j)) {
+                    Ok(from_body) if from_body == exp => {}
+                    Ok(from_body) => {
+                        return Route::Inline(Response::error(
+                            400,
+                            &format!("body id {:?} contradicts path id {id:?}", from_body.id),
+                        ))
+                    }
+                    Err(e) => return Route::Inline(Response::error(400, &e)),
+                }
+            }
+        }
+        let engine = self.engine.clone();
+        let cfg = self.cfg;
+        let id = exp.id;
+        Route::Work {
+            key: Some(format!("exp|{id}")),
+            compute: Box::new(move || {
+                // Exactly the `repro --json <id>` envelope, so server
+                // responses are byte-identical to CLI output.
+                let data = match id.as_str() {
+                    "tab12" => experiments::tab12::run(&cfg).to_json(),
+                    "fig2" => experiments::fig2::run(&engine, &cfg).to_json(),
+                    _ => experiments::fig5::idle_factor_sweep(&engine, &cfg).to_json(),
+                };
+                Response::json(200, &jobj! { "experiment" => id, "data" => data })
+            }),
+        }
+    }
+}
+
+impl Service for EngineService {
+    fn route(&self, req: &Request, ctx: &ServerCtx<'_>) -> Route {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/healthz") => Route::Inline(Response::json(200, &jobj! { "status" => "ok" })),
+            ("GET", "/metrics") => Route::Inline(Response::json(
+                200,
+                &jobj! {
+                    "server" => ctx.metrics.to_json(ctx.queue_depth),
+                    "engine" => self.engine.metrics().to_json(),
+                    "threads" => self.engine.threads()
+                },
+            )),
+            ("POST", "/v1/select") => self.route_select(req),
+            ("POST", "/v1/sim") => self.route_sim(req),
+            ("POST", "/v1/shutdown") => {
+                Route::Shutdown(Response::json(200, &jobj! { "status" => "draining" }))
+            }
+            ("POST", path) if path.starts_with("/v1/experiments/") => {
+                self.route_experiment(req, &path["/v1/experiments/".len()..])
+            }
+            _ => Route::Inline(Response::error(404, "no such endpoint")),
+        }
+    }
+}
+
+/// Boots the selection service. When `engine` is `None` a fresh
+/// [`Engine::from_env`] is created with its progress sink wired onto the
+/// server's SSE bus (plus stderr when `opts.progress`); passing an
+/// engine shares its memo caches with the caller (its progress sink is
+/// left as-is).
+pub fn serve(opts: &ServeOptions, engine: Option<Arc<Engine>>) -> std::io::Result<ServerHandle> {
+    let bus = Arc::new(Bus::new());
+    let engine = engine.unwrap_or_else(|| {
+        let sink_bus = bus.clone();
+        let to_stderr = opts.progress;
+        let sink: ProgressSink = Arc::new(move |line: &str| {
+            sink_bus.publish(line);
+            if to_stderr {
+                eprintln!("[engine] {line}");
+            }
+        });
+        Arc::new(Engine::from_env().with_progress_sink(sink))
+    });
+    let service = Arc::new(EngineService::new(engine, ExpConfig::default()));
+    let cfg = ServerConfig {
+        addr: opts.addr.clone(),
+        workers: if opts.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            opts.workers
+        },
+        queue_cap: opts.queue_cap,
+        cache_cap: opts.cache_cap,
+        default_deadline_ms: opts.deadline_ms,
+    };
+    preexec_server::start_with_bus(cfg, service, bus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_map_covers_the_cli_names() {
+        for name in ["healthz", "metrics", "select", "sim", "shutdown"] {
+            assert!(endpoint(name).is_some(), "{name}");
+        }
+        for id in EXPERIMENT_IDS {
+            let (method, path, _) = endpoint(id).unwrap();
+            assert_eq!(method, "POST");
+            assert_eq!(path, format!("/v1/experiments/{id}"));
+        }
+        assert!(endpoint("fig99").is_none());
+    }
+
+    #[test]
+    fn target_parsing_and_labels() {
+        assert_eq!(parse_target("classic", None), SelectionTarget::Classic);
+        assert_eq!(parse_target("latency", None), SelectionTarget::Latency);
+        assert_eq!(parse_target("energy", None), SelectionTarget::Energy);
+        assert_eq!(
+            parse_target("weighted", Some(0.25)),
+            SelectionTarget::Weighted(0.25)
+        );
+        assert_eq!(target_label(SelectionTarget::Ed), "P");
+        assert_eq!(target_label(SelectionTarget::Weighted(2.0)), "W2");
+    }
+
+    #[test]
+    fn config_overrides_apply() {
+        let base = ExpConfig::default();
+        let req = EvalRequest {
+            bench: "gap".to_string(),
+            target: "latency".to_string(),
+            weight: None,
+            trace_cap: Some(123),
+            mem_latency: Some(300),
+            idle_factor: None,
+        };
+        let cfg = config_for(&req, &base);
+        assert_eq!(cfg.trace_cap, 123);
+        assert_ne!(format!("{:?}", cfg.sim), format!("{:?}", base.sim));
+        assert_eq!(format!("{:?}", cfg.energy), format!("{:?}", base.energy));
+    }
+}

@@ -1,0 +1,402 @@
+//! Request/response DTOs for the serving layer (`preexec-server` +
+//! `preexec-harness::service`).
+//!
+//! These are plain-data shapes with two disciplines the service relies
+//! on:
+//!
+//! - **Strict parsing** — [`EvalRequest::from_json`] and friends reject
+//!   unknown fields and wrong types with a field-named error, so a typo
+//!   in a client request is a 400, not a silently ignored option.
+//! - **Canonical serialization** — `to_json` writes every field in a
+//!   fixed order with absent options as `null`, so the serialized form
+//!   doubles as the singleflight / response-cache key: two requests that
+//!   mean the same thing hash to the same bytes.
+
+use crate::{Json, ToJson};
+
+/// Experiment identifiers the service exposes under
+/// `POST /v1/experiments/{id}`.
+pub const EXPERIMENT_IDS: [&str; 3] = ["tab12", "fig2", "fig5a"];
+
+/// Selection-target names accepted in [`EvalRequest::target`].
+pub const TARGET_NAMES: [&str; 6] = ["classic", "latency", "energy", "ed", "ed2", "weighted"];
+
+/// Errors if `j` (an object) has a key outside `allowed`.
+fn reject_unknown(j: &Json, allowed: &[&str], what: &str) -> Result<(), String> {
+    let Json::Object(fields) = j else {
+        return Err(format!("{what}: expected a JSON object"));
+    };
+    for (k, _) in fields {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("{what}: unknown field {k:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// A required string field.
+fn req_str(j: &Json, key: &str, what: &str) -> Result<String, String> {
+    match j.get(key) {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(format!("{what}: field {key:?} must be a string")),
+        None => Err(format!("{what}: missing required field {key:?}")),
+    }
+}
+
+/// An optional string field (absent or `null` ⇒ `None`).
+fn opt_str(j: &Json, key: &str, what: &str) -> Result<Option<String>, String> {
+    match j.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("{what}: field {key:?} must be a string")),
+    }
+}
+
+/// An optional number field as `f64` (absent or `null` ⇒ `None`).
+fn opt_f64(j: &Json, key: &str, what: &str) -> Result<Option<f64>, String> {
+    match j.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("{what}: field {key:?} must be a number")),
+    }
+}
+
+/// An optional unsigned-integer field (absent or `null` ⇒ `None`).
+fn opt_u64(j: &Json, key: &str, what: &str) -> Result<Option<u64>, String> {
+    match j.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("{what}: field {key:?} must be an unsigned integer")),
+    }
+}
+
+/// A required number field.
+fn req_f64(j: &Json, key: &str, what: &str) -> Result<f64, String> {
+    opt_f64(j, key, what)?.ok_or_else(|| format!("{what}: missing required field {key:?}"))
+}
+
+/// A required unsigned-integer field.
+fn req_u64(j: &Json, key: &str, what: &str) -> Result<u64, String> {
+    opt_u64(j, key, what)?.ok_or_else(|| format!("{what}: missing required field {key:?}"))
+}
+
+/// Body of `POST /v1/select` and `POST /v1/sim`: which benchmark to
+/// evaluate, under which selection target, with optional config
+/// overrides.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalRequest {
+    /// Benchmark name (must be one of the suite's workloads).
+    pub bench: String,
+    /// Selection target: one of [`TARGET_NAMES`]. Defaults to
+    /// `"latency"` when absent.
+    pub target: String,
+    /// EADV weight `W` for `target == "weighted"` (P-thread selection
+    /// objective `LADV − W·(−EADV)`); ignored otherwise.
+    pub weight: Option<f64>,
+    /// Override for the per-benchmark trace-length cap.
+    pub trace_cap: Option<u64>,
+    /// Override for main-memory latency in cycles.
+    pub mem_latency: Option<u64>,
+    /// Override for the idle-power fraction of the energy model.
+    pub idle_factor: Option<f64>,
+}
+
+crate::impl_json_object!(EvalRequest {
+    bench,
+    target,
+    weight,
+    trace_cap,
+    mem_latency,
+    idle_factor,
+});
+
+impl EvalRequest {
+    const FIELDS: [&'static str; 6] = [
+        "bench",
+        "target",
+        "weight",
+        "trace_cap",
+        "mem_latency",
+        "idle_factor",
+    ];
+
+    /// Strictly parses a request body: unknown fields and wrong types
+    /// are errors; `target` defaults to `"latency"` and is validated
+    /// against [`TARGET_NAMES`].
+    pub fn from_json(j: &Json) -> Result<EvalRequest, String> {
+        let what = "EvalRequest";
+        reject_unknown(j, &Self::FIELDS, what)?;
+        let bench = req_str(j, "bench", what)?;
+        let target = opt_str(j, "target", what)?.unwrap_or_else(|| "latency".to_string());
+        if !TARGET_NAMES.contains(&target.as_str()) {
+            return Err(format!(
+                "{what}: unknown target {target:?} (expected one of {TARGET_NAMES:?})"
+            ));
+        }
+        let weight = opt_f64(j, "weight", what)?;
+        if target == "weighted" && weight.is_none() {
+            return Err(format!("{what}: target \"weighted\" requires \"weight\""));
+        }
+        Ok(EvalRequest {
+            bench,
+            target,
+            weight,
+            trace_cap: opt_u64(j, "trace_cap", what)?,
+            mem_latency: opt_u64(j, "mem_latency", what)?,
+            idle_factor: opt_f64(j, "idle_factor", what)?,
+        })
+    }
+
+    /// The canonical byte form used as singleflight / cache key.
+    pub fn canonical(&self) -> String {
+        self.to_json().to_string()
+    }
+}
+
+/// Body of `POST /v1/experiments/{id}` — currently empty (the id rides
+/// in the path), kept as a struct so future knobs stay strict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentRequest {
+    /// Experiment identifier: one of [`EXPERIMENT_IDS`].
+    pub id: String,
+}
+
+crate::impl_json_object!(ExperimentRequest { id });
+
+impl ExperimentRequest {
+    /// Validates the experiment id from the URL path (body is unused).
+    pub fn from_id(id: &str) -> Result<ExperimentRequest, String> {
+        if EXPERIMENT_IDS.contains(&id) {
+            Ok(ExperimentRequest { id: id.to_string() })
+        } else {
+            Err(format!(
+                "unknown experiment {id:?} (expected one of {EXPERIMENT_IDS:?})"
+            ))
+        }
+    }
+
+    /// Strictly parses `{"id": "..."}`.
+    pub fn from_json(j: &Json) -> Result<ExperimentRequest, String> {
+        let what = "ExperimentRequest";
+        reject_unknown(j, &["id"], what)?;
+        Self::from_id(&req_str(j, "id", what)?)
+    }
+}
+
+/// One selected p-thread, summarized for the wire (the full slice body
+/// stays server-side).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PThreadSummary {
+    /// Trigger PC (instruction address that launches the p-thread).
+    pub trigger_pc: u64,
+    /// Instructions in the p-thread body.
+    pub body_len: u64,
+    /// Problem loads this p-thread prefetches.
+    pub targets: u64,
+    /// Expected triggers per 1k committed instructions.
+    pub dc_trig: f64,
+    /// Expected p-thread instructions per 1k committed (overhead).
+    pub dc_ptcm: f64,
+    /// Aggregate latency advantage (cycles saved per 1k committed).
+    pub ladv: f64,
+    /// Aggregate energy advantage (negative = costs energy).
+    pub eadv: f64,
+}
+
+crate::impl_json_object!(PThreadSummary {
+    trigger_pc,
+    body_len,
+    targets,
+    dc_trig,
+    dc_ptcm,
+    ladv,
+    eadv,
+});
+
+impl PThreadSummary {
+    const FIELDS: [&'static str; 7] = [
+        "trigger_pc",
+        "body_len",
+        "targets",
+        "dc_trig",
+        "dc_ptcm",
+        "ladv",
+        "eadv",
+    ];
+
+    /// Strict parse of one summary object.
+    pub fn from_json(j: &Json) -> Result<PThreadSummary, String> {
+        let what = "PThreadSummary";
+        reject_unknown(j, &Self::FIELDS, what)?;
+        Ok(PThreadSummary {
+            trigger_pc: req_u64(j, "trigger_pc", what)?,
+            body_len: req_u64(j, "body_len", what)?,
+            targets: req_u64(j, "targets", what)?,
+            dc_trig: req_f64(j, "dc_trig", what)?,
+            dc_ptcm: req_f64(j, "dc_ptcm", what)?,
+            ladv: req_f64(j, "ladv", what)?,
+            eadv: req_f64(j, "eadv", what)?,
+        })
+    }
+}
+
+/// Body of a `POST /v1/select` 200 response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectResponse {
+    /// Echo of the requested benchmark.
+    pub bench: String,
+    /// Echo of the selection target.
+    pub target: String,
+    /// Selection-objective label (`"O"`, `"L"`, `"E"`, `"P"`, `"P2"`, or
+    /// a weighted form).
+    pub label: String,
+    /// The chosen p-thread set.
+    pub pthreads: Vec<PThreadSummary>,
+    /// Predicted aggregate latency advantage of the set.
+    pub predicted_ladv: f64,
+    /// Predicted aggregate energy advantage of the set.
+    pub predicted_eadv: f64,
+}
+
+crate::impl_json_object!(SelectResponse {
+    bench,
+    target,
+    label,
+    pthreads,
+    predicted_ladv,
+    predicted_eadv,
+});
+
+impl SelectResponse {
+    const FIELDS: [&'static str; 6] = [
+        "bench",
+        "target",
+        "label",
+        "pthreads",
+        "predicted_ladv",
+        "predicted_eadv",
+    ];
+
+    /// Strict parse of the response (used by clients and round-trip
+    /// tests).
+    pub fn from_json(j: &Json) -> Result<SelectResponse, String> {
+        let what = "SelectResponse";
+        reject_unknown(j, &Self::FIELDS, what)?;
+        let pthreads = match j.get("pthreads") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(PThreadSummary::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err(format!("{what}: field \"pthreads\" must be an array")),
+            None => return Err(format!("{what}: missing required field \"pthreads\"")),
+        };
+        Ok(SelectResponse {
+            bench: req_str(j, "bench", what)?,
+            target: req_str(j, "target", what)?,
+            label: req_str(j, "label", what)?,
+            pthreads,
+            predicted_ladv: req_f64(j, "predicted_ladv", what)?,
+            predicted_eadv: req_f64(j, "predicted_eadv", what)?,
+        })
+    }
+}
+
+/// Body of a `POST /v1/sim` 200 response: the gains of pre-execution
+/// under the selected set, plus the full simulator report verbatim.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimResponse {
+    /// Echo of the requested benchmark.
+    pub bench: String,
+    /// Echo of the selection target.
+    pub target: String,
+    /// Speedup over the no-pre-execution baseline (>1 is faster).
+    pub speedup: f64,
+    /// Energy ratio vs. baseline (<1 uses less energy).
+    pub energy_ratio: f64,
+    /// Energy-delay ratio vs. baseline.
+    pub ed_ratio: f64,
+    /// The full [`SimReport`](../../preexec_harness) JSON, passed
+    /// through verbatim.
+    pub report: Json,
+}
+
+crate::impl_json_object!(SimResponse {
+    bench,
+    target,
+    speedup,
+    energy_ratio,
+    ed_ratio,
+    report,
+});
+
+impl SimResponse {
+    const FIELDS: [&'static str; 6] = [
+        "bench",
+        "target",
+        "speedup",
+        "energy_ratio",
+        "ed_ratio",
+        "report",
+    ];
+
+    /// Strict parse of the response envelope; `report` is kept opaque.
+    pub fn from_json(j: &Json) -> Result<SimResponse, String> {
+        let what = "SimResponse";
+        reject_unknown(j, &Self::FIELDS, what)?;
+        Ok(SimResponse {
+            bench: req_str(j, "bench", what)?,
+            target: req_str(j, "target", what)?,
+            speedup: req_f64(j, "speedup", what)?,
+            energy_ratio: req_f64(j, "energy_ratio", what)?,
+            ed_ratio: req_f64(j, "ed_ratio", what)?,
+            report: j
+                .get("report")
+                .cloned()
+                .ok_or_else(|| format!("{what}: missing required field \"report\""))?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn eval_request_defaults_and_canonical_key() {
+        let r = EvalRequest::from_json(&parse(r#"{"bench":"gap"}"#).unwrap()).unwrap();
+        assert_eq!(r.target, "latency");
+        assert_eq!(
+            r.canonical(),
+            r#"{"bench":"gap","target":"latency","weight":null,"trace_cap":null,"mem_latency":null,"idle_factor":null}"#
+        );
+        // Field order in the body doesn't change the canonical key.
+        let r2 = EvalRequest::from_json(&parse(r#"{"target":"latency","bench":"gap"}"#).unwrap())
+            .unwrap();
+        assert_eq!(r.canonical(), r2.canonical());
+    }
+
+    #[test]
+    fn eval_request_rejects_unknowns_and_bad_targets() {
+        let bad = parse(r#"{"bench":"gap","banch":"oops"}"#).unwrap();
+        assert!(EvalRequest::from_json(&bad).unwrap_err().contains("banch"));
+        let bad = parse(r#"{"bench":"gap","target":"speed"}"#).unwrap();
+        assert!(EvalRequest::from_json(&bad).unwrap_err().contains("speed"));
+        let bad = parse(r#"{"target":"latency"}"#).unwrap();
+        assert!(EvalRequest::from_json(&bad).unwrap_err().contains("bench"));
+        let bad = parse(r#"{"bench":"gap","target":"weighted"}"#).unwrap();
+        assert!(EvalRequest::from_json(&bad).unwrap_err().contains("weight"));
+    }
+
+    #[test]
+    fn experiment_ids_are_validated() {
+        assert!(ExperimentRequest::from_id("tab12").is_ok());
+        assert!(ExperimentRequest::from_id("fig99").is_err());
+        let j = parse(r#"{"id":"fig2"}"#).unwrap();
+        assert_eq!(ExperimentRequest::from_json(&j).unwrap().id, "fig2");
+    }
+}

@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod dto;
+
 use std::fmt;
 
 /// A JSON value. Numbers keep their original flavour (`u64`, `i64`, or

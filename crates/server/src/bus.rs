@@ -1,0 +1,80 @@
+//! A broadcast bus for progress events. Publishers never block: each
+//! subscriber gets a bounded mailbox and a slow subscriber simply drops
+//! events (progress is advisory, results travel the response path).
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Mutex;
+
+/// Per-subscriber mailbox depth.
+const MAILBOX: usize = 256;
+
+/// A fan-out channel of progress lines.
+pub struct Bus {
+    subs: Mutex<Vec<SyncSender<String>>>,
+}
+
+impl Bus {
+    /// A bus with no subscribers.
+    pub fn new() -> Bus {
+        Bus {
+            subs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a subscriber; events published after this call land in
+    /// the returned receiver until it is dropped.
+    pub fn subscribe(&self) -> Receiver<String> {
+        let (tx, rx) = sync_channel(MAILBOX);
+        self.subs.lock().unwrap().push(tx);
+        rx
+    }
+
+    /// Broadcasts `line` to every live subscriber. Full mailboxes drop
+    /// the event; disconnected subscribers are pruned.
+    pub fn publish(&self, line: &str) {
+        self.subs.lock().unwrap().retain(|tx| {
+            !matches!(
+                tx.try_send(line.to_string()),
+                Err(TrySendError::Disconnected(_))
+            )
+        });
+    }
+
+    /// Live subscriber count.
+    pub fn subscribers(&self) -> usize {
+        self.subs.lock().unwrap().len()
+    }
+}
+
+impl Default for Bus {
+    fn default() -> Self {
+        Bus::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_to_live_subscribers_and_prunes_dead_ones() {
+        let bus = Bus::new();
+        let rx = bus.subscribe();
+        let dead = bus.subscribe();
+        drop(dead);
+        bus.publish("hello");
+        assert_eq!(rx.try_recv().unwrap(), "hello");
+        assert_eq!(bus.subscribers(), 1, "dropped subscriber pruned");
+    }
+
+    #[test]
+    fn full_mailbox_drops_without_blocking() {
+        let bus = Bus::new();
+        let rx = bus.subscribe();
+        for i in 0..(MAILBOX + 10) {
+            bus.publish(&format!("e{i}"));
+        }
+        assert_eq!(rx.try_recv().unwrap(), "e0", "oldest retained");
+        assert_eq!(bus.subscribers(), 1, "full mailbox is not a disconnect");
+    }
+}

@@ -1,0 +1,289 @@
+//! A closed-loop load generator: N connections × M requests each over
+//! keep-alive, with a latency histogram (p50/p95/p99), throughput, and a
+//! response-body cardinality check (`distinct_bodies == 1` is how the CI
+//! smoke asserts deterministic serving).
+
+use preexec_json::impl_json_object;
+use std::collections::HashSet;
+use std::fmt;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::http::{read_response, write_request};
+
+/// One load-generation run's shape.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Target `host:port`.
+    pub addr: String,
+    /// Concurrent connections (each is one closed-loop client).
+    pub conns: usize,
+    /// Requests per connection.
+    pub requests: usize,
+    /// HTTP method.
+    pub method: String,
+    /// Request path (query string included if any).
+    pub path: String,
+    /// Request body (empty for GETs).
+    pub body: String,
+    /// Extra headers (e.g. `x-deadline-ms`).
+    pub headers: Vec<(String, String)>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: "127.0.0.1:7071".to_string(),
+            conns: 8,
+            requests: 16,
+            method: "GET".to_string(),
+            path: "/healthz".to_string(),
+            body: String::new(),
+            headers: Vec::new(),
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadgenReport {
+    /// Connections used.
+    pub conns: usize,
+    /// Requests attempted.
+    pub requests: usize,
+    /// 2xx responses.
+    pub ok_2xx: u64,
+    /// 429 admission rejections (backpressure working as designed).
+    pub rejected_429: u64,
+    /// Other 4xx responses.
+    pub other_4xx: u64,
+    /// 5xx responses.
+    pub errors_5xx: u64,
+    /// Connect/read/write failures.
+    pub transport_errors: u64,
+    /// Distinct 2xx response bodies observed (1 ⇒ deterministic).
+    pub distinct_bodies: u64,
+    /// Wall-clock of the whole run, seconds.
+    pub elapsed_s: f64,
+    /// Completed responses per second.
+    pub throughput_rps: f64,
+    /// Median latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Worst latency, milliseconds.
+    pub max_ms: f64,
+}
+
+impl_json_object!(LoadgenReport {
+    conns,
+    requests,
+    ok_2xx,
+    rejected_429,
+    other_4xx,
+    errors_5xx,
+    transport_errors,
+    distinct_bodies,
+    elapsed_s,
+    throughput_rps,
+    p50_ms,
+    p95_ms,
+    p99_ms,
+    max_ms
+});
+
+impl LoadgenReport {
+    /// Whether the run saw no server-side or transport failures
+    /// (backpressure 429s are *not* failures).
+    pub fn clean(&self) -> bool {
+        self.errors_5xx == 0 && self.transport_errors == 0
+    }
+}
+
+impl fmt::Display for LoadgenReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "loadgen: {} conns x {} reqs = {} attempted in {:.2}s ({:.1} req/s)",
+            self.conns,
+            self.requests / self.conns.max(1),
+            self.requests,
+            self.elapsed_s,
+            self.throughput_rps,
+        )?;
+        writeln!(
+            f,
+            "  status: 2xx={} 429={} other-4xx={} 5xx={} transport-errors={} distinct-bodies={}",
+            self.ok_2xx,
+            self.rejected_429,
+            self.other_4xx,
+            self.errors_5xx,
+            self.transport_errors,
+            self.distinct_bodies,
+        )?;
+        writeln!(
+            f,
+            "  latency: p50={:.2}ms p95={:.2}ms p99={:.2}ms max={:.2}ms",
+            self.p50_ms, self.p95_ms, self.p99_ms, self.max_ms,
+        )
+    }
+}
+
+/// FNV-1a over a body — enough to count distinct responses without
+/// retaining them.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[derive(Default)]
+struct Tally {
+    latencies: Vec<u64>,
+    ok_2xx: u64,
+    rejected_429: u64,
+    other_4xx: u64,
+    errors_5xx: u64,
+    transport_errors: u64,
+    body_hashes: HashSet<u64>,
+}
+
+/// One closed-loop connection worker: connect once, then issue
+/// `requests` back-to-back over keep-alive (reconnecting once per
+/// request on transport failure).
+fn client(cfg: &LoadgenConfig, tally: &Mutex<Tally>) {
+    let connect = || {
+        let s = TcpStream::connect(&cfg.addr).ok()?;
+        let _ = s.set_nodelay(true);
+        Some(s)
+    };
+    let mut local = Tally::default();
+    let mut stream = connect();
+    for _ in 0..cfg.requests {
+        if stream.is_none() {
+            stream = connect();
+        }
+        let Some(s) = stream.as_mut() else {
+            local.transport_errors += 1;
+            continue;
+        };
+        let start = Instant::now();
+        let sent = write_request(s, &cfg.method, &cfg.path, &cfg.headers, cfg.body.as_bytes());
+        let resp = sent
+            .map_err(|e| e.to_string())
+            .and_then(|()| read_response(&mut BufReader::new(&*s)));
+        match resp {
+            Ok(resp) => {
+                local.latencies.push(start.elapsed().as_nanos() as u64);
+                match resp.status {
+                    200..=299 => {
+                        local.ok_2xx += 1;
+                        local.body_hashes.insert(fnv1a(&resp.body));
+                    }
+                    429 => local.rejected_429 += 1,
+                    400..=499 => local.other_4xx += 1,
+                    _ => local.errors_5xx += 1,
+                }
+                let closed = resp
+                    .headers
+                    .iter()
+                    .any(|(k, v)| k == "connection" && v.eq_ignore_ascii_case("close"));
+                if closed {
+                    stream = None;
+                }
+            }
+            Err(_) => {
+                local.transport_errors += 1;
+                stream = None;
+            }
+        }
+    }
+    let mut t = tally.lock().unwrap();
+    t.latencies.extend(local.latencies);
+    t.ok_2xx += local.ok_2xx;
+    t.rejected_429 += local.rejected_429;
+    t.other_4xx += local.other_4xx;
+    t.errors_5xx += local.errors_5xx;
+    t.transport_errors += local.transport_errors;
+    t.body_hashes.extend(local.body_hashes);
+}
+
+fn percentile(sorted_nanos: &[u64], q: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_nanos.len() - 1) as f64 * q).round() as usize;
+    sorted_nanos[idx] as f64 / 1e6
+}
+
+/// Runs the closed loop and aggregates the report.
+pub fn run(cfg: &LoadgenConfig) -> LoadgenReport {
+    let tally = Mutex::new(Tally::default());
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.conns.max(1) {
+            scope.spawn(|| client(cfg, &tally));
+        }
+    });
+    let elapsed = start.elapsed().max(Duration::from_micros(1));
+    let mut t = tally.into_inner().unwrap();
+    t.latencies.sort_unstable();
+    let completed = t.latencies.len() as f64;
+    LoadgenReport {
+        conns: cfg.conns.max(1),
+        requests: cfg.conns.max(1) * cfg.requests,
+        ok_2xx: t.ok_2xx,
+        rejected_429: t.rejected_429,
+        other_4xx: t.other_4xx,
+        errors_5xx: t.errors_5xx,
+        transport_errors: t.transport_errors,
+        distinct_bodies: t.body_hashes.len() as u64,
+        elapsed_s: elapsed.as_secs_f64(),
+        throughput_rps: completed / elapsed.as_secs_f64(),
+        p50_ms: percentile(&t.latencies, 0.50),
+        p95_ms: percentile(&t.latencies, 0.95),
+        p99_ms: percentile(&t.latencies, 0.99),
+        max_ms: percentile(&t.latencies, 1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let nanos: Vec<u64> = (1..=100).map(|i| i * 1_000_000).collect();
+        assert!((percentile(&nanos, 0.50) - 50.0).abs() <= 1.0);
+        assert!((percentile(&nanos, 0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(percentile(&nanos, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn fnv_distinguishes_bodies() {
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"same"), fnv1a(b"same"));
+    }
+
+    #[test]
+    fn report_clean_ignores_backpressure() {
+        let r = LoadgenReport {
+            rejected_429: 5,
+            ..LoadgenReport::default()
+        };
+        assert!(r.clean());
+        let bad = LoadgenReport {
+            errors_5xx: 1,
+            ..LoadgenReport::default()
+        };
+        assert!(!bad.clean());
+    }
+}

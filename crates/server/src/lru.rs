@@ -1,0 +1,90 @@
+//! A small LRU response cache. Linear-scan recency order — exact and
+//! allocation-light at the few-hundred-entry capacities the server uses;
+//! swap in a linked map if capacity ever grows by orders of magnitude.
+
+/// Fixed-capacity least-recently-used cache.
+pub struct LruCache<V> {
+    cap: usize,
+    /// Entries ordered least→most recently used.
+    entries: Vec<(String, V)>,
+}
+
+impl<V: Clone> LruCache<V> {
+    /// A cache holding at most `cap` entries (`cap == 0` disables it).
+    pub fn new(cap: usize) -> LruCache<V> {
+        LruCache {
+            cap,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Looks up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &str) -> Option<V> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(idx);
+        let value = entry.1.clone();
+        self.entries.push(entry);
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry when at capacity.
+    pub fn put(&mut self, key: String, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(idx) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(idx);
+        } else if self.entries.len() >= self.cap {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, value));
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put("a".into(), 1);
+        c.put("b".into(), 2);
+        assert_eq!(c.get("a"), Some(1)); // refreshes "a"; "b" is now LRU
+        c.put("c".into(), 3);
+        assert_eq!(c.get("b"), None, "b was evicted");
+        assert_eq!(c.get("a"), Some(1));
+        assert_eq!(c.get("c"), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = LruCache::new(0);
+        c.put("a".into(), 1);
+        assert!(c.is_empty());
+        assert_eq!(c.get("a"), None);
+    }
+
+    #[test]
+    fn put_refreshes_existing_key() {
+        let mut c = LruCache::new(2);
+        c.put("a".into(), 1);
+        c.put("b".into(), 2);
+        c.put("a".into(), 10);
+        c.put("c".into(), 3);
+        assert_eq!(c.get("a"), Some(10), "refreshed value survives");
+        assert_eq!(c.get("b"), None, "stale key evicted first");
+    }
+}

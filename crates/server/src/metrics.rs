@@ -1,0 +1,183 @@
+//! Serving-layer counters: request/response classes, admission
+//! rejections, deadline timeouts, response-cache and singleflight
+//! statistics, and in-flight gauges. All atomics — recorded from
+//! connection and worker threads without contention.
+
+use preexec_json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregated server metrics, surfaced by `GET /metrics`.
+#[derive(Default)]
+pub struct ServerMetrics {
+    requests: AtomicU64,
+    resp_2xx: AtomicU64,
+    resp_4xx: AtomicU64,
+    resp_5xx: AtomicU64,
+    rejected_429: AtomicU64,
+    timeouts_504: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    sf_leaders: AtomicU64,
+    sf_joins: AtomicU64,
+    streams: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> ServerMetrics {
+        ServerMetrics::default()
+    }
+
+    /// Records an accepted, parsed request.
+    pub fn inc_requests(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the final status of a response.
+    pub fn count_status(&self, status: u16) {
+        let cell = match status {
+            200..=299 => &self.resp_2xx,
+            400..=499 => &self.resp_4xx,
+            _ => &self.resp_5xx,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+        if status == 429 {
+            self.rejected_429.fetch_add(1, Ordering::Relaxed);
+        }
+        if status == 504 {
+            self.timeouts_504.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a response-cache hit.
+    pub fn inc_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a response-cache miss.
+    pub fn inc_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a singleflight leader (a computation actually admitted).
+    pub fn inc_sf_leader(&self) {
+        self.sf_leaders.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a singleflight follower (a deduplicated request).
+    pub fn inc_sf_join(&self) {
+        self.sf_joins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an SSE stream served.
+    pub fn inc_streams(&self) {
+        self.streams.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one computation entering a worker.
+    pub fn enter_work(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one computation leaving a worker.
+    pub fn exit_work(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests accepted so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// 5xx responses so far.
+    pub fn resp_5xx(&self) -> u64 {
+        self.resp_5xx.load(Ordering::Relaxed)
+    }
+
+    /// 429 admission rejections so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_429.load(Ordering::Relaxed)
+    }
+
+    /// Singleflight joins (deduplicated requests) so far.
+    pub fn sf_joins(&self) -> u64 {
+        self.sf_joins.load(Ordering::Relaxed)
+    }
+
+    /// Response-cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot as JSON. `queue_depth` is the admission queue's current
+    /// waiting-job count (a gauge owned by the queue, passed in).
+    pub fn to_json(&self, queue_depth: usize) -> Json {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        Json::object()
+            .with("requests", g(&self.requests))
+            .with(
+                "responses",
+                Json::object()
+                    .with("2xx", g(&self.resp_2xx))
+                    .with("4xx", g(&self.resp_4xx))
+                    .with("5xx", g(&self.resp_5xx)),
+            )
+            .with("rejected_429", g(&self.rejected_429))
+            .with("timeouts_504", g(&self.timeouts_504))
+            .with(
+                "cache",
+                Json::object()
+                    .with("hits", g(&self.cache_hits))
+                    .with("misses", g(&self.cache_misses)),
+            )
+            .with(
+                "singleflight",
+                Json::object()
+                    .with("leaders", g(&self.sf_leaders))
+                    .with("joins", g(&self.sf_joins)),
+            )
+            .with("streams", g(&self.streams))
+            .with("in_flight", g(&self.in_flight))
+            .with("queue_depth", queue_depth as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classes_and_special_counters() {
+        let m = ServerMetrics::new();
+        m.inc_requests();
+        m.count_status(200);
+        m.count_status(429);
+        m.count_status(504);
+        let j = m.to_json(3);
+        assert_eq!(
+            j.get("responses").unwrap().get("2xx").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            j.get("responses").unwrap().get("4xx").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            j.get("responses").unwrap().get("5xx").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(j.get("rejected_429").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("timeouts_504").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn work_gauge_balances() {
+        let m = ServerMetrics::new();
+        m.enter_work();
+        m.enter_work();
+        m.exit_work();
+        assert_eq!(m.to_json(0).get("in_flight").unwrap().as_u64(), Some(1));
+    }
+}

@@ -1,0 +1,150 @@
+//! The bounded admission queue and its worker pool: the bridge between
+//! connection threads (which parse and wait) and compute workers (which
+//! run handler closures). Backpressure is explicit — a full queue fails
+//! `try_push` and the server answers 429 instead of buffering without
+//! bound.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of queued work.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct State {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+/// A fixed-capacity MPMC job queue. `try_push` never blocks; `pop`
+/// blocks until a job arrives or the queue is closed and drained.
+pub struct WorkQueue {
+    state: Mutex<State>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl WorkQueue {
+    /// A queue admitting at most `cap` waiting jobs (running jobs are not
+    /// counted — they occupy workers, not queue slots).
+    pub fn new(cap: usize) -> WorkQueue {
+        WorkQueue {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admits `job`, or returns it when the queue is full or closed.
+    pub fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut s = self.state.lock().unwrap();
+        if !s.open || s.jobs.len() >= self.cap {
+            return Err(job);
+        }
+        s.jobs.push_back(job);
+        drop(s);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job. `None` means the queue was closed and has
+    /// fully drained — the worker should exit.
+    pub fn pop(&self) -> Option<Job> {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = s.jobs.pop_front() {
+                return Some(job);
+            }
+            if !s.open {
+                return None;
+            }
+            s = self.ready.wait(s).unwrap();
+        }
+    }
+
+    /// Closes admission. Already-queued jobs still drain; `pop` returns
+    /// `None` once they have. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().unwrap().open = false;
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently waiting (not running).
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().jobs.len()
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// A fixed set of worker threads draining one [`WorkQueue`].
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `n` workers on `queue`.
+    pub fn start(n: usize, queue: Arc<WorkQueue>) -> WorkerPool {
+        let handles = (0..n.max(1))
+            .map(|i| {
+                let queue = queue.clone();
+                std::thread::Builder::new()
+                    .name(format!("preexec-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Waits for every worker to exit (requires the queue to be closed).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn bounded_admission_rejects_when_full() {
+        let q = WorkQueue::new(2);
+        assert!(q.try_push(Box::new(|| {})).is_ok());
+        assert!(q.try_push(Box::new(|| {})).is_ok());
+        assert!(q.try_push(Box::new(|| {})).is_err(), "third must bounce");
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn workers_drain_queue_then_exit_on_close() {
+        let q = Arc::new(WorkQueue::new(64));
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let ran = ran.clone();
+            q.try_push(Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }))
+            .map_err(|_| ())
+            .unwrap();
+        }
+        let pool = WorkerPool::start(3, q.clone());
+        q.close();
+        pool.join();
+        assert_eq!(ran.load(Ordering::SeqCst), 10, "queued jobs drain on close");
+        assert!(q.try_push(Box::new(|| {})).is_err(), "closed queue rejects");
+    }
+}

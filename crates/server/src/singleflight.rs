@@ -1,0 +1,138 @@
+//! Singleflight: identical in-flight requests collapse onto one
+//! computation. The first arrival for a key becomes the *leader* and runs
+//! the work; later arrivals become *followers* and block on the leader's
+//! [`Flight`] until it completes (or their deadline expires). Completed
+//! flights leave the map immediately — steady-state deduplication is the
+//! response cache's job, this layer only absorbs the concurrent burst.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// A once-cell a leader fills and any number of followers wait on.
+pub struct Flight<V> {
+    slot: Mutex<Option<V>>,
+    done: Condvar,
+}
+
+impl<V: Clone> Flight<V> {
+    /// An empty flight, detached from any map (used for uncacheable
+    /// one-off work that still wants the wait/fill machinery).
+    pub fn detached() -> Arc<Flight<V>> {
+        Arc::new(Flight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Fills the flight and wakes every waiter. Idempotent in effect —
+    /// the first value wins.
+    pub fn fill(&self, value: V) {
+        let mut slot = self.slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(value);
+        }
+        drop(slot);
+        self.done.notify_all();
+    }
+
+    /// Waits up to `timeout` for the value. `None` on timeout — callers
+    /// loop and re-check their own deadline, which lets them interleave
+    /// waiting with other duties (streaming progress frames).
+    pub fn wait_for(&self, timeout: Duration) -> Option<V> {
+        let slot = self.slot.lock().unwrap();
+        if let Some(v) = slot.as_ref() {
+            return Some(v.clone());
+        }
+        let (slot, _) = self.done.wait_timeout(slot, timeout).unwrap();
+        slot.clone()
+    }
+}
+
+/// The outcome of joining a key: lead the computation or follow one
+/// already in flight.
+pub enum Role<V> {
+    /// This caller must compute and [`SingleFlight::complete`] the key.
+    Leader(Arc<Flight<V>>),
+    /// Another caller is computing; wait on the flight.
+    Follower(Arc<Flight<V>>),
+}
+
+/// The in-flight map, keyed by canonicalized request.
+pub struct SingleFlight<V> {
+    flights: Mutex<HashMap<String, Arc<Flight<V>>>>,
+}
+
+impl<V: Clone> SingleFlight<V> {
+    /// An empty map.
+    pub fn new() -> SingleFlight<V> {
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Joins `key`: the first concurrent caller leads, the rest follow.
+    pub fn join(&self, key: &str) -> Role<V> {
+        let mut map = self.flights.lock().unwrap();
+        if let Some(flight) = map.get(key) {
+            Role::Follower(flight.clone())
+        } else {
+            let flight = Flight::detached();
+            map.insert(key.to_string(), flight.clone());
+            Role::Leader(flight)
+        }
+    }
+
+    /// Completes `key`: fills the flight (waking followers) and retires
+    /// it from the map. Fill-then-remove ordering means a request racing
+    /// with completion either joins the filled flight (instant result) or
+    /// becomes a fresh leader — never hangs.
+    pub fn complete(&self, key: &str, flight: &Flight<V>, value: V) {
+        flight.fill(value);
+        self.flights.lock().unwrap().remove(key);
+    }
+
+    /// Keys currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().unwrap().len()
+    }
+}
+
+impl<V: Clone> Default for SingleFlight<V> {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_joiner_follows_and_sees_leader_value() {
+        let sf: SingleFlight<u32> = SingleFlight::new();
+        let leader = match sf.join("k") {
+            Role::Leader(f) => f,
+            Role::Follower(_) => panic!("first join must lead"),
+        };
+        let follower = match sf.join("k") {
+            Role::Follower(f) => f,
+            Role::Leader(_) => panic!("second join must follow"),
+        };
+        assert_eq!(sf.in_flight(), 1);
+        let waiter = std::thread::spawn(move || follower.wait_for(Duration::from_secs(5)));
+        sf.complete("k", &leader, 7);
+        assert_eq!(waiter.join().unwrap(), Some(7));
+        assert_eq!(sf.in_flight(), 0, "completed flights leave the map");
+        assert!(matches!(sf.join("k"), Role::Leader(_)));
+    }
+
+    #[test]
+    fn wait_times_out_without_a_value() {
+        let f: Arc<Flight<u32>> = Flight::detached();
+        assert_eq!(f.wait_for(Duration::from_millis(10)), None);
+        f.fill(1);
+        f.fill(2);
+        assert_eq!(f.wait_for(Duration::from_millis(1)), Some(1), "first wins");
+    }
+}

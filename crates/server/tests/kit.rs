@@ -1,0 +1,294 @@
+//! End-to-end tests of the serving kit against a toy service: keep-alive,
+//! singleflight deduplication, bounded-admission backpressure (429),
+//! deadlines (504), panic isolation (500), the LRU response cache, SSE
+//! streaming, and graceful drain.
+
+use preexec_json::{parse, Json};
+use preexec_server::http::{read_response, write_request, Response};
+use preexec_server::{start, Route, ServerConfig, ServerCtx, Service};
+use std::io::{BufRead, BufReader, Read};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// A service with a sleepy compute endpoint: enough surface to exercise
+/// every serving discipline without touching the experiment engine.
+/// Completions are counted through an `Arc` so each test observes only
+/// its own server (the tests run in parallel).
+#[derive(Default)]
+struct Toy {
+    completed: Arc<AtomicU64>,
+}
+
+impl Service for Toy {
+    fn route(&self, req: &preexec_server::Request, ctx: &ServerCtx<'_>) -> Route {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/ping") => {
+                Route::Inline(Response::json(200, &Json::object().with("pong", true)))
+            }
+            ("GET", "/stats") => {
+                Route::Inline(Response::json(200, &ctx.metrics.to_json(ctx.queue_depth)))
+            }
+            ("POST", "/quit") => Route::Shutdown(Response::json(
+                200,
+                &Json::object().with("status", "draining"),
+            )),
+            ("POST", "/slow") => {
+                let body = req.body_str().unwrap_or("").to_string();
+                let ms: u64 = body.trim().parse().unwrap_or(50);
+                let done = self.completed.clone();
+                Route::Work {
+                    key: Some(format!("slow|{ms}")),
+                    compute: Box::new(move || {
+                        std::thread::sleep(Duration::from_millis(ms));
+                        done.fetch_add(1, Ordering::SeqCst);
+                        Response::json(200, &Json::object().with("slept_ms", ms))
+                    }),
+                }
+            }
+            ("POST", "/boom") => Route::Work {
+                key: None,
+                compute: Box::new(|| panic!("kaboom")),
+            },
+            _ => Route::Inline(Response::error(404, "nope")),
+        }
+    }
+}
+
+fn boot(
+    workers: usize,
+    queue_cap: usize,
+    cache_cap: usize,
+) -> (preexec_server::ServerHandle, Arc<AtomicU64>) {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_cap,
+        cache_cap,
+        default_deadline_ms: 10_000,
+    };
+    let toy = Toy::default();
+    let completed = toy.completed.clone();
+    (start(cfg, Arc::new(toy)).expect("bind"), completed)
+}
+
+/// One-shot HTTP call on a fresh connection.
+fn call(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> Response {
+    call_with_headers(addr, method, path, body, &[])
+}
+
+fn call_with_headers(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    headers: &[(String, String)],
+) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_request(&mut stream, method, path, headers, body.as_bytes()).expect("write");
+    read_response(&mut BufReader::new(&stream)).expect("read")
+}
+
+fn stat(addr: std::net::SocketAddr, path: &[&str]) -> u64 {
+    let resp = call(addr, "GET", "/stats", "");
+    let j = parse(&resp.body_str()).expect("stats json");
+    let mut cur = &j;
+    for p in path {
+        cur = cur.get(p).unwrap_or_else(|| panic!("missing {p}"));
+    }
+    cur.as_u64().expect("u64 stat")
+}
+
+#[test]
+fn ping_keepalive_and_404() {
+    let (h, _) = boot(2, 8, 8);
+    let addr = h.addr();
+    // Two requests over one keep-alive connection.
+    let stream = TcpStream::connect(addr).unwrap();
+    for _ in 0..2 {
+        write_request(&mut (&stream), "GET", "/ping", &[], b"").unwrap();
+        let resp = read_response(&mut BufReader::new(&stream)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_str(), r#"{"pong":true}"#);
+    }
+    assert_eq!(call(addr, "GET", "/missing", "").status, 404);
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn identical_concurrent_requests_singleflight_onto_one_compute() {
+    let (h, completed) = boot(4, 16, 16);
+    let addr = h.addr();
+    let n = 6;
+    let barrier = Arc::new(Barrier::new(n));
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    let resp = call(addr, "POST", "/slow", "300");
+                    assert_eq!(resp.status, 200);
+                    resp.body_str()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert!(bodies.windows(2).all(|w| w[0] == w[1]), "byte-identical");
+    assert_eq!(
+        completed.load(Ordering::SeqCst),
+        1,
+        "exactly one compute ran"
+    );
+    assert_eq!(stat(addr, &["singleflight", "leaders"]), 1);
+    assert_eq!(
+        stat(addr, &["singleflight", "joins"]) + stat(addr, &["cache", "hits"]),
+        n as u64 - 1,
+        "every other request deduplicated via flight or cache"
+    );
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn lru_serves_repeat_requests_without_recompute() {
+    let (h, completed) = boot(2, 8, 8);
+    let addr = h.addr();
+    assert_eq!(call(addr, "POST", "/slow", "40").status, 200);
+    assert_eq!(call(addr, "POST", "/slow", "40").status, 200);
+    assert_eq!(
+        completed.load(Ordering::SeqCst),
+        1,
+        "second request is a cache hit"
+    );
+    assert_eq!(stat(addr, &["cache", "hits"]), 1);
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn saturated_admission_queue_returns_429_with_retry_after() {
+    // 1 worker, queue of 1: 6 distinct slow requests → at most 2 can be
+    // in the system, the rest must bounce with 429.
+    let (h, _) = boot(1, 1, 0);
+    let addr = h.addr();
+    let n = 6;
+    let barrier = Arc::new(Barrier::new(n));
+    let statuses: Vec<(u16, bool)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let barrier = barrier.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    let resp = call(addr, "POST", "/slow", &format!("{}", 300 + i));
+                    let retry = resp.headers.iter().any(|(k, _)| k == "retry-after");
+                    (resp.status, retry)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let rejected = statuses.iter().filter(|(s, _)| *s == 429).count();
+    let ok = statuses.iter().filter(|(s, _)| *s == 200).count();
+    assert!(rejected >= 1, "saturation must produce 429s: {statuses:?}");
+    assert!(ok >= 1, "admitted work still completes: {statuses:?}");
+    assert!(
+        statuses.iter().all(|(s, retry)| *s != 429 || *retry),
+        "429s carry retry-after"
+    );
+    assert_eq!(rejected as u64, stat(addr, &["rejected_429"]));
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn deadline_expiry_returns_504_and_computation_still_lands_in_cache() {
+    let (h, completed) = boot(2, 8, 8);
+    let addr = h.addr();
+    let deadline = [("x-deadline-ms".to_string(), "50".to_string())];
+    let resp = call_with_headers(addr, "POST", "/slow", "400", &deadline);
+    assert_eq!(resp.status, 504);
+    // The computation keeps running; once done the same key is a cache hit.
+    std::thread::sleep(Duration::from_millis(600));
+    assert_eq!(completed.load(Ordering::SeqCst), 1);
+    let resp = call(addr, "POST", "/slow", "400");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        completed.load(Ordering::SeqCst),
+        1,
+        "no recompute after timeout"
+    );
+    assert_eq!(stat(addr, &["timeouts_504"]), 1);
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn handler_panic_is_a_500_not_a_hang() {
+    let (h, _) = boot(2, 8, 8);
+    let addr = h.addr();
+    let resp = call(addr, "POST", "/boom", "");
+    assert_eq!(resp.status, 500);
+    assert!(resp.body_str().contains("panicked"));
+    // The worker survives: the pool still serves.
+    assert_eq!(call(addr, "POST", "/slow", "10").status, 200);
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn sse_stream_carries_queued_and_result_frames() {
+    let (h, _) = boot(2, 8, 8);
+    let addr = h.addr();
+    let stream = TcpStream::connect(addr).unwrap();
+    write_request(&mut (&stream), "POST", "/slow?stream=sse", &[], b"120").unwrap();
+    // SSE closes the connection at end-of-stream: read until EOF.
+    let mut reader = BufReader::new(&stream);
+    let mut head = String::new();
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        if line.trim().is_empty() {
+            break;
+        }
+        head.push_str(&line);
+    }
+    assert!(head.contains("200 OK"));
+    assert!(head.contains("text/event-stream"));
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("event: queued"), "stream: {rest}");
+    assert!(rest.contains("event: result"), "stream: {rest}");
+    assert!(rest.contains(r#"{"slept_ms":120}"#), "stream: {rest}");
+    assert_eq!(stat(addr, &["streams"]), 1);
+    h.shutdown();
+    h.join();
+}
+
+#[test]
+fn shutdown_route_drains_inflight_work_and_stops_accepting() {
+    let (h, completed) = boot(2, 8, 8);
+    let addr = h.addr();
+    // Kick off a slow job, then immediately request shutdown.
+    let worker = std::thread::spawn(move || call(addr, "POST", "/slow", "250"));
+    std::thread::sleep(Duration::from_millis(50));
+    let resp = call(addr, "POST", "/quit", "");
+    assert_eq!(resp.status, 200);
+    let slow = worker.join().unwrap();
+    assert_eq!(slow.status, 200, "in-flight work drains, not aborts");
+    assert_eq!(completed.load(Ordering::SeqCst), 1);
+    h.join();
+    // Fully stopped: new connections are refused (or reset immediately).
+    let refused = match TcpStream::connect(addr) {
+        Err(_) => true,
+        Ok(s) => {
+            let _ = s.set_read_timeout(Some(Duration::from_millis(200)));
+            write_request(&mut (&s), "GET", "/ping", &[], b"").is_err()
+                || read_response(&mut BufReader::new(&s)).is_err()
+        }
+    };
+    assert!(refused, "listener must be gone after join");
+}

@@ -38,6 +38,7 @@ pub use preexec_harness as harness;
 pub use preexec_isa as isa;
 pub use preexec_mem as mem;
 pub use preexec_oracle as oracle;
+pub use preexec_server as server;
 pub use preexec_sim as sim;
 pub use preexec_slicer as slicer;
 pub use preexec_trace as trace;
