@@ -1,0 +1,104 @@
+//! Pareto-frontier extraction over (execution-time, energy) points.
+//!
+//! The W-continuum sweep produces one (time-ratio, energy-ratio) point
+//! per selection weight W; the frontier is the non-dominated subset —
+//! the points for which no other point is at least as good on both axes
+//! and strictly better on one. Both axes are "lower is better"
+//! (normalized execution time and normalized energy).
+//!
+//! [`frontier_excess`] measures how far a point sits *outside* the
+//! frontier: 0.0 for points on or inside it, otherwise the smallest
+//! uniform improvement that would bring the point to the frontier. It is
+//! the gauge used to verify that the four paper targets (L / P² / P / E)
+//! lie on the measured tradeoff curve.
+
+/// Whether point `a` dominates point `b` (lower is better on both
+/// axes): `a` is no worse on either axis and strictly better on at
+/// least one.
+pub fn dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 <= b.0 && a.1 <= b.1 && (a.0 < b.0 || a.1 < b.1)
+}
+
+/// Indices of the non-dominated points in `points`, sorted by ascending
+/// x then ascending y. Duplicate points all appear (none dominates its
+/// twin). Points with non-finite coordinates are excluded.
+pub fn frontier(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len())
+        .filter(|&i| points[i].0.is_finite() && points[i].1.is_finite())
+        .collect();
+    idx.sort_by(|&a, &b| {
+        points[a]
+            .partial_cmp(&points[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    // After the x-sort, a point is dominated iff some earlier point has
+    // y <= its y (earlier ⇒ x no worse) and differs somewhere. Sweep
+    // with the best (lowest) y seen so far; equal points pass through.
+    let mut out = Vec::new();
+    let mut best_y = f64::INFINITY;
+    let mut best_at: Option<(f64, f64)> = None;
+    for &i in &idx {
+        let p = points[i];
+        if p.1 < best_y || Some(p) == best_at {
+            out.push(i);
+            if p.1 < best_y {
+                best_y = p.1;
+                best_at = Some(p);
+            }
+        }
+    }
+    out
+}
+
+/// How far `p` lies outside the frontier described by `front` (lower is
+/// better on both axes): `max(0, max over q in front of min(p.x − q.x,
+/// p.y − q.y))`. A point on or inside the frontier scores `0.0`; a
+/// dominated point scores the smallest per-axis slack any frontier
+/// point holds over it. Returns `0.0` for an empty frontier.
+pub fn frontier_excess(p: (f64, f64), front: &[(f64, f64)]) -> f64 {
+    front
+        .iter()
+        .map(|q| (p.0 - q.0).min(p.1 - q.1))
+        .fold(0.0_f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominates_is_strict_somewhere() {
+        assert!(dominates((1.0, 2.0), (1.0, 3.0)));
+        assert!(dominates((0.5, 0.5), (1.0, 1.0)));
+        assert!(!dominates((1.0, 2.0), (1.0, 2.0)), "equal never dominates");
+        assert!(!dominates((0.5, 3.0), (1.0, 2.0)), "tradeoff");
+    }
+
+    #[test]
+    fn frontier_drops_dominated_keeps_tradeoffs() {
+        let pts = [(1.0, 5.0), (2.0, 4.0), (3.0, 4.5), (4.0, 1.0), (2.5, 6.0)];
+        let f = frontier(&pts);
+        let kept: Vec<(f64, f64)> = f.iter().map(|&i| pts[i]).collect();
+        assert_eq!(kept, vec![(1.0, 5.0), (2.0, 4.0), (4.0, 1.0)]);
+    }
+
+    #[test]
+    fn frontier_keeps_duplicates_and_skips_nan() {
+        let pts = [(1.0, 1.0), (1.0, 1.0), (f64::NAN, 0.0), (2.0, 0.5)];
+        let f = frontier(&pts);
+        assert_eq!(f, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn excess_zero_on_frontier_positive_off_it() {
+        let front = [(1.0, 5.0), (2.0, 4.0), (4.0, 1.0)];
+        for &q in &front {
+            assert_eq!(frontier_excess(q, &front), 0.0);
+        }
+        // (2.1, 4.1) is dominated by (2.0, 4.0) with 0.1 slack on both axes.
+        let e = frontier_excess((2.1, 4.1), &front);
+        assert!((e - 0.1).abs() < 1e-12, "excess {e}");
+        // A point inside (dominating part of the frontier) scores 0.
+        assert_eq!(frontier_excess((1.5, 1.5), &front), 0.0);
+    }
+}

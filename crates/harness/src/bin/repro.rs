@@ -15,6 +15,17 @@
 //! over every kernel, every slicer candidate body, and the selected
 //! p-thread sets — no simulation involved. Exits 1 on any finding.
 //!
+//! `repro sweep` runs a W-continuum campaign (see
+//! `preexec_harness::campaign`): a grid of weighted selection targets ×
+//! machines × energy models, journaled for kill/resume (`--journal`),
+//! shardable across processes (`--shard i/n`, reassembled with
+//! `--merge`). `repro pareto` adds the (time, energy) frontier analysis
+//! and checks the paper's four fixed targets against it (exit 1 when one
+//! is off the aggregate frontier beyond `--tol`). The global `--store
+//! DIR` flag attaches a persistent content-addressed result store so
+//! baseline and optimized timing runs replay from disk across processes
+//! (hit/miss counters appear in `--metrics`).
+//!
 //! Experiments run on the parallel caching [`Engine`]; set `REPRO_THREADS`
 //! to override the worker count (1 = serial; results are identical either
 //! way). With `--json`, results are emitted as machine-readable JSON (one
@@ -23,22 +34,54 @@
 //! cache hit/miss statistics. With `--progress`, the engine narrates
 //! pipeline builds and evaluations on stderr.
 
-use preexec_harness::{experiments, lint, service, verify, Engine, ExpConfig};
+use preexec_harness::{campaign, experiments, lint, service, verify, Engine, ExpConfig};
 use preexec_json::{jobj, ToJson};
 use preexec_server::loadgen;
+use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--json] [--metrics] [--progress] \
+        "usage: repro [--json] [--metrics] [--progress] [--store DIR] \
          <fig2|fig3|fig4|fig5a|fig5b|fig5c|tab12|tab3|ed2|branch|cfg|combined|all>\n\
+         \x20      repro sweep [common flags] [--points N] [--bench B]... [--mem-latency N]... \
+         [--idle-factor F]... [--journal FILE] [--shard I/N] | [--merge FILE]...\n\
+         \x20      repro pareto [sweep flags] [--tol F] | [--from FILE]...\n\
          \x20      repro verify [--json] [--cases N] [--seed S]\n\
          \x20      repro lint [--json]\n\
          \x20      repro serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--cache N] [--deadline-ms N] [--progress]\n\
+         [--cache N] [--deadline-ms N] [--store DIR] [--progress]\n\
          \x20      repro loadgen [--json] [--addr HOST:PORT] [--conns N] [--requests M] \
-         [--endpoint healthz|metrics|select|sim|tab12|fig2|fig5a|shutdown]"
+         [--endpoint healthz|metrics|select|sim|tab12|fig2|fig5a|campaigns|shutdown]..."
     );
     std::process::exit(2);
+}
+
+/// Builds the engine, attaching the persistent store when `--store` was
+/// given.
+fn engine_with_store(progress: bool, store: &Option<String>) -> Engine {
+    let mut engine = Engine::from_env().with_progress(progress);
+    if let Some(dir) = store {
+        match preexec_campaign::Store::open(dir) {
+            Ok(s) => engine = engine.with_store(std::sync::Arc::new(s)),
+            Err(e) => {
+                eprintln!("repro: cannot open store {dir}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    engine
+}
+
+/// The trailing `--metrics` line (shared by experiments and campaigns).
+fn emit_metrics(engine: &Engine, start: Instant) {
+    println!(
+        "{}",
+        jobj! {
+            "metrics" => engine.metrics().to_json(),
+            "threads" => engine.threads(),
+            "total_wall_ms" => start.elapsed().as_secs_f64() * 1e3
+        }
+    );
 }
 
 /// Parses a seed given as decimal or `0x`-prefixed hex.
@@ -47,6 +90,179 @@ fn parse_seed(s: &str) -> Option<u64> {
         Some(hex) => u64::from_str_radix(hex, 16).ok(),
         None => s.parse().ok(),
     }
+}
+
+/// Parsed flags shared by `repro sweep` and `repro pareto`.
+struct CampaignArgs {
+    opts: campaign::SweepOptions,
+    tol: f64,
+    /// Files named by `--merge` / `--from`: previously captured sweep
+    /// JSON to merge instead of computing.
+    inputs: Vec<String>,
+}
+
+fn parse_campaign_args(rest: &[String]) -> CampaignArgs {
+    let mut a = CampaignArgs {
+        opts: campaign::SweepOptions::default(),
+        tol: 0.005,
+        inputs: Vec::new(),
+    };
+    // The first use of a repeatable grid flag replaces its default;
+    // later uses extend the grid.
+    let (mut benches_set, mut ml_set, mut if_set) = (false, false, false);
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--points" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => a.opts.points = n,
+                None => usage(),
+            },
+            "--bench" => {
+                let Some(b) = it.next() else { usage() };
+                if !preexec_workloads::NAMES.contains(&b.as_str()) {
+                    eprintln!(
+                        "repro: unknown benchmark {b:?} (expected one of {:?})",
+                        preexec_workloads::NAMES
+                    );
+                    std::process::exit(2);
+                }
+                if !std::mem::replace(&mut benches_set, true) {
+                    a.opts.benches.clear();
+                }
+                a.opts.benches.push(b.clone());
+            }
+            "--mem-latency" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    if !std::mem::replace(&mut ml_set, true) {
+                        a.opts.mem_latencies.clear();
+                    }
+                    a.opts.mem_latencies.push(n);
+                }
+                None => usage(),
+            },
+            "--idle-factor" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) => {
+                    if !std::mem::replace(&mut if_set, true) {
+                        a.opts.idle_factors.clear();
+                    }
+                    a.opts.idle_factors.push(f);
+                }
+                None => usage(),
+            },
+            "--journal" => match it.next() {
+                Some(p) => a.opts.journal = Some(p.into()),
+                None => usage(),
+            },
+            "--shard" => match it.next().and_then(|v| preexec_campaign::parse_shard(v)) {
+                Some(s) => a.opts.shard = s,
+                None => usage(),
+            },
+            "--merge" | "--from" => match it.next() {
+                Some(p) => a.inputs.push(p.clone()),
+                None => usage(),
+            },
+            "--tol" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => a.tol = t,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    a
+}
+
+/// Reads a sweep result previously captured with `repro --json sweep`.
+fn load_sweep(path: &str) -> campaign::SweepResult {
+    let fail = |what: &str| -> ! {
+        eprintln!("repro: {path}: {what}");
+        std::process::exit(1);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => fail(&format!("cannot read: {e}")),
+    };
+    // The sweep JSON is the first line (a `--metrics` line may follow).
+    let line = text.lines().next().unwrap_or("");
+    match preexec_json::parse(line).and_then(|j| campaign::SweepResult::from_json(&j)) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("not a sweep capture: {e}")),
+    }
+}
+
+/// Merges `--merge`/`--from` files, or runs the sweep on a fresh engine.
+/// Returns the result plus the engine (when one was built) for metrics.
+fn sweep_or_merge(
+    a: &CampaignArgs,
+    progress: bool,
+    store: &Option<String>,
+) -> (campaign::SweepResult, Option<Engine>) {
+    if a.inputs.is_empty() {
+        let engine = engine_with_store(progress, store);
+        let result = campaign::run_sweep(&engine, &ExpConfig::default(), &a.opts);
+        return (result, Some(engine));
+    }
+    let parts: Vec<campaign::SweepResult> = a.inputs.iter().map(|p| load_sweep(p)).collect();
+    match campaign::merge_sweeps(&parts) {
+        Ok(r) => (r, None),
+        Err(e) => {
+            eprintln!("repro: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro sweep`: run (a shard of) a W-continuum campaign, or merge
+/// previously captured shard outputs.
+fn run_sweep_cmd(
+    json: bool,
+    metrics: bool,
+    progress: bool,
+    store: &Option<String>,
+    rest: &[String],
+) -> ! {
+    let a = parse_campaign_args(rest);
+    let start = Instant::now();
+    let (result, engine) = sweep_or_merge(&a, progress, store);
+    if json {
+        println!("{}", result.to_json());
+    } else {
+        print!("{result}");
+    }
+    if let (true, Some(engine)) = (metrics, engine.as_ref()) {
+        emit_metrics(engine, start);
+    }
+    std::process::exit(0);
+}
+
+/// `repro pareto`: sweep (or load with `--from`) and run the frontier
+/// analysis with the paper-target checks. Exits 1 when a target is off
+/// the aggregate frontier.
+fn run_pareto_cmd(
+    json: bool,
+    metrics: bool,
+    progress: bool,
+    store: &Option<String>,
+    rest: &[String],
+) -> ! {
+    let a = parse_campaign_args(rest);
+    let start = Instant::now();
+    let (sweep, engine) = sweep_or_merge(&a, progress, store);
+    let report = match campaign::pareto(&sweep, a.tol) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("repro pareto: {e}");
+            std::process::exit(1);
+        }
+    };
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{report}");
+    }
+    if let (true, Some(engine)) = (metrics, engine.as_ref()) {
+        emit_metrics(engine, start);
+    }
+    std::process::exit(if report.ok { 0 } else { 1 });
 }
 
 /// `repro verify`: the differential oracle/fuzz/sanitizer pass.
@@ -93,9 +309,10 @@ fn run_lint(json: bool, progress: bool, rest: &[String]) -> ! {
 
 /// `repro serve`: boots the selection service and blocks until a client
 /// posts `/v1/shutdown`.
-fn run_serve(progress: bool, rest: &[String]) -> ! {
+fn run_serve(progress: bool, store: &Option<String>, rest: &[String]) -> ! {
     let mut opts = service::ServeOptions {
         progress,
+        store: store.clone(),
         ..service::ServeOptions::default()
     };
     let mut it = rest.iter();
@@ -119,6 +336,10 @@ fn run_serve(progress: bool, rest: &[String]) -> ! {
                 Some(n) => opts.deadline_ms = n,
                 None => usage(),
             },
+            "--store" => match it.next() {
+                Some(d) => opts.store = Some(d.clone()),
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -135,8 +356,11 @@ fn run_serve(progress: bool, rest: &[String]) -> ! {
 }
 
 /// `repro loadgen`: closed-loop load against a running `repro serve`.
+/// `--endpoint` may repeat: each named endpoint is exercised in turn
+/// and reported separately (with per-endpoint p50/p95/p99).
 fn run_loadgen(json: bool, rest: &[String]) -> ! {
     let mut cfg = loadgen::LoadgenConfig::default();
+    let mut endpoints: Vec<(String, &'static str, String, String)> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -152,24 +376,53 @@ fn run_loadgen(json: bool, rest: &[String]) -> ! {
                 Some(n) => cfg.requests = n,
                 None => usage(),
             },
-            "--endpoint" => match it.next().and_then(|name| service::endpoint(name)) {
-                Some((method, path, body)) => {
-                    cfg.method = method.to_string();
-                    cfg.path = path;
-                    cfg.body = body;
+            "--endpoint" => {
+                let Some(name) = it.next() else { usage() };
+                match service::endpoint(name) {
+                    Some((method, path, body)) => {
+                        endpoints.push((name.clone(), method, path, body))
+                    }
+                    None => usage(),
                 }
-                None => usage(),
-            },
+            }
             _ => usage(),
         }
     }
-    let report = loadgen::run(&cfg);
-    if json {
-        println!("{}", report.to_json());
-    } else {
-        print!("{report}");
+    // A single endpoint (or none: the default GET /healthz) keeps the
+    // original single-report output shape.
+    if endpoints.len() <= 1 {
+        if let Some((_, method, path, body)) = endpoints.into_iter().next() {
+            cfg.method = method.to_string();
+            cfg.path = path;
+            cfg.body = body;
+        }
+        let report = loadgen::run(&cfg);
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{report}");
+        }
+        std::process::exit(if report.clean() { 0 } else { 1 });
     }
-    std::process::exit(if report.clean() { 0 } else { 1 });
+    let mut all_clean = true;
+    for (name, method, path, body) in endpoints {
+        let mut ecfg = cfg.clone();
+        ecfg.method = method.to_string();
+        ecfg.path = path;
+        ecfg.body = body;
+        let report = loadgen::run(&ecfg);
+        all_clean &= report.clean();
+        if json {
+            println!(
+                "{}",
+                jobj! { "endpoint" => name, "report" => report.to_json() }
+            );
+        } else {
+            println!("== {name} ==");
+            print!("{report}");
+        }
+    }
+    std::process::exit(if all_clean { 0 } else { 1 });
 }
 
 fn run_one(engine: &Engine, id: &str, cfg: &ExpConfig, json: bool) {
@@ -204,26 +457,34 @@ fn main() {
     let mut json = false;
     let mut metrics = false;
     let mut progress = false;
-    let args: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| match a.as_str() {
-            "--json" => {
-                json = true;
-                false
+    let mut store: Option<String> = None;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--json" => json = true,
+            "--metrics" => metrics = true,
+            "--progress" => progress = true,
+            "--store" => {
+                i += 1;
+                match raw.get(i) {
+                    Some(d) => store = Some(d.clone()),
+                    None => usage(),
+                }
             }
-            "--metrics" => {
-                metrics = true;
-                false
-            }
-            "--progress" => {
-                progress = true;
-                false
-            }
-            _ => true,
-        })
-        .collect();
+            _ => args.push(raw[i].clone()),
+        }
+        i += 1;
+    }
     if args.is_empty() {
         usage();
+    }
+    if args[0] == "sweep" {
+        run_sweep_cmd(json, metrics, progress, &store, &args[1..]);
+    }
+    if args[0] == "pareto" {
+        run_pareto_cmd(json, metrics, progress, &store, &args[1..]);
     }
     if args[0] == "verify" {
         run_verify(json, progress, &args[1..]);
@@ -232,14 +493,14 @@ fn main() {
         run_lint(json, progress, &args[1..]);
     }
     if args[0] == "serve" {
-        run_serve(progress, &args[1..]);
+        run_serve(progress, &store, &args[1..]);
     }
     if args[0] == "loadgen" {
         run_loadgen(json, &args[1..]);
     }
-    let engine = Engine::from_env().with_progress(progress);
+    let engine = engine_with_store(progress, &store);
     let cfg = ExpConfig::default();
-    let start = std::time::Instant::now();
+    let start = Instant::now();
     for id in &args {
         if id == "all" {
             for x in [
@@ -259,13 +520,6 @@ fn main() {
         }
     }
     if metrics {
-        println!(
-            "{}",
-            jobj! {
-                "metrics" => engine.metrics().to_json(),
-                "threads" => engine.threads(),
-                "total_wall_ms" => start.elapsed().as_secs_f64() * 1e3
-            }
-        );
+        emit_metrics(&engine, start);
     }
 }

@@ -21,6 +21,8 @@
 use crate::experiments::BenchEval;
 use crate::metrics::{Metrics, Stage};
 use crate::setup::{ExpConfig, Prepared, PreparedBase, PreparedCore, TargetResult};
+use preexec_campaign::Store;
+use preexec_json::ToJson;
 use preexec_sim::SimReport;
 use pthsel::SelectionTarget;
 use std::collections::HashMap;
@@ -79,6 +81,12 @@ pub struct Engine {
     /// Experiment-owned memoized values (e.g. the branch-study pipeline),
     /// type-erased so the engine stays decoupled from experiment types.
     aux: SlotMap<Box<dyn std::any::Any + Send + Sync>>,
+    /// Persistent on-disk extension of the sim-run layers: baseline and
+    /// optimized timing runs are probed here before simulating and
+    /// written back after, so results survive the process and are shared
+    /// across shards. Reports round-trip JSON exactly, so a store-served
+    /// run is bit-identical to a fresh one.
+    store: Option<Arc<Store>>,
     metrics: Metrics,
     sink: Option<ProgressSink>,
 }
@@ -93,6 +101,7 @@ impl Engine {
             cache: Mutex::new(HashMap::new()),
             sims: Mutex::new(HashMap::new()),
             aux: Mutex::new(HashMap::new()),
+            store: None,
             metrics: Metrics::new(),
             sink: None,
         }
@@ -135,6 +144,19 @@ impl Engine {
         self
     }
 
+    /// Backs the engine's simulation layers with a persistent store:
+    /// baseline and optimized timing runs are served from disk when a
+    /// valid entry exists (a warm start) and persisted when computed.
+    pub fn with_store(mut self, store: Arc<Store>) -> Engine {
+        self.store = Some(store);
+        self
+    }
+
+    /// The persistent store, if one is attached.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
     /// The worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -175,10 +197,42 @@ impl Engine {
         Prepared::from_core(core, cfg)
     }
 
+    /// Probes the persistent store for a simulation report. Counts a
+    /// store hit/miss per probe; no-ops (with no counter traffic) when
+    /// the engine has no store attached.
+    fn store_load_report(&self, key: &str) -> Option<SimReport> {
+        let store = self.store.as_ref()?;
+        match store.load(key) {
+            Some(j) => {
+                self.metrics.add_store_hit();
+                Some(SimReport::from_json(&j))
+            }
+            None => {
+                self.metrics.add_store_miss();
+                None
+            }
+        }
+    }
+
+    /// Persists a freshly computed simulation report, if a store is
+    /// attached.
+    fn store_save_report(&self, key: &str, report: &SimReport) {
+        if let Some(store) = &self.store {
+            store.save(key, &report.to_json());
+        }
+    }
+
     /// The memoized slice-independent base artifacts for `(name, cfg)`.
     fn base(&self, name: &str, cfg: &ExpConfig) -> Arc<PreparedBase> {
         let (base, hit) = memo(&self.bases, PreparedBase::base_key(name, cfg), || {
-            PreparedBase::build_metered(name, cfg, Some(&self.metrics))
+            let baseline_key = PreparedBase::baseline_key(name, cfg);
+            let stored = self.store_load_report(&baseline_key);
+            let fresh = stored.is_none();
+            let base = PreparedBase::build_metered_with(name, cfg, Some(&self.metrics), stored);
+            if fresh {
+                self.store_save_report(&baseline_key, &base.baseline);
+            }
+            base
         });
         if hit {
             self.metrics.add_base_hit();
@@ -205,11 +259,16 @@ impl Engine {
                 PreparedCore::structural_key(&prep.name, &prep.cfg),
                 selection.pthreads,
             );
+            let store_key = format!("sim|{sim_key}");
             let (report, hit) = memo(&self.sims, sim_key, || {
+                if let Some(stored) = self.store_load_report(&store_key) {
+                    return stored;
+                }
                 let report = self
                     .metrics
                     .time(Stage::OptSim, || prep.run_with(&selection));
                 self.metrics.add_sim_cycles(report.cycles);
+                self.store_save_report(&store_key, &report);
                 report
             });
             if hit {
@@ -472,6 +531,61 @@ mod tests {
             e.metrics().cells(),
             2,
             "cells still counts every evaluation"
+        );
+    }
+
+    #[test]
+    fn store_backed_engines_replay_runs_bit_identically() {
+        let dir =
+            std::env::temp_dir().join(format!("preexec-engine-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ExpConfig::default();
+
+        // Cold engine: everything misses the store and is persisted.
+        let cold = Engine::new(1).with_store(Arc::new(Store::open(&dir).unwrap()));
+        let prep = cold.prepared("gap", &cfg);
+        let a = cold.evaluate(&prep, SelectionTarget::Latency);
+        assert_eq!(cold.metrics().store_hits(), 0);
+        assert!(cold.metrics().store_misses() >= 2, "baseline + opt sim");
+
+        // Warm engine (fresh process simulated by a fresh Engine): both
+        // simulation layers replay from disk, no timing run happens.
+        let warm = Engine::new(1).with_store(Arc::new(Store::open(&dir).unwrap()));
+        let prep = warm.prepared("gap", &cfg);
+        let b = warm.evaluate(&prep, SelectionTarget::Latency);
+        assert_eq!(warm.metrics().store_misses(), 0, "fully warm");
+        assert_eq!(warm.metrics().store_hits(), 2);
+        assert_eq!(warm.metrics().stage_nanos(Stage::BaselineSim), 0);
+        assert_eq!(warm.metrics().stage_nanos(Stage::OptSim), 0);
+        assert_eq!(
+            a.report.to_json().to_string(),
+            b.report.to_json().to_string(),
+            "store replay is bit-identical"
+        );
+        assert_eq!(
+            prep.baseline.to_json().to_string(),
+            cold.prepared("gap", &cfg).baseline.to_json().to_string(),
+        );
+    }
+
+    #[test]
+    fn model_version_bump_invalidates_store_entries() {
+        use crate::setup::versioned;
+        let dir = std::env::temp_dir().join(format!(
+            "preexec-modelversion-store-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        let report = SimReport::default();
+        store.save(&versioned(1, "baseline|gap"), &report.to_json());
+        assert!(
+            store.load(&versioned(1, "baseline|gap")).is_some(),
+            "same version addresses the entry"
+        );
+        assert!(
+            store.load(&versioned(2, "baseline|gap")).is_none(),
+            "a bumped MODEL_VERSION must never read old entries"
         );
     }
 

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 mod chart;
 mod engine;
 pub mod experiments;
@@ -31,5 +32,7 @@ pub mod verify;
 pub use chart::{signed_bars, stacked_bars};
 pub use engine::{Engine, ProgressSink, THREADS_ENV};
 pub use metrics::{Metrics, Stage};
-pub use setup::{ExpConfig, Prepared, PreparedBase, PreparedCore, TargetResult};
+pub use setup::{
+    versioned, ExpConfig, Prepared, PreparedBase, PreparedCore, TargetResult, MODEL_VERSION,
+};
 pub use table::{num1, pct, ratio, TextTable};

@@ -81,6 +81,8 @@ pub struct Metrics {
     sim_misses: AtomicU64,
     aux_hits: AtomicU64,
     aux_misses: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
     cells: AtomicU64,
 }
 
@@ -161,6 +163,17 @@ impl Metrics {
         self.aux_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a persistent-store probe that found a usable entry.
+    pub fn add_store_hit(&self) {
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a persistent-store probe that found nothing (the result
+    /// is computed and written back).
+    pub fn add_store_miss(&self) {
+        self.store_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records one evaluated (benchmark × config × target) cell.
     pub fn add_cell(&self) {
         self.cells.fetch_add(1, Ordering::Relaxed);
@@ -204,6 +217,16 @@ impl Metrics {
     /// Aux-cache misses so far.
     pub fn aux_misses(&self) -> u64 {
         self.aux_misses.load(Ordering::Relaxed)
+    }
+
+    /// Persistent-store hits so far.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
+    }
+
+    /// Persistent-store misses so far.
+    pub fn store_misses(&self) -> u64 {
+        self.store_misses.load(Ordering::Relaxed)
     }
 
     /// Evaluated cells so far.
@@ -250,7 +273,9 @@ impl Metrics {
                     .with("sim_hits", self.sim_hits())
                     .with("sim_misses", self.sim_misses())
                     .with("aux_hits", self.aux_hits())
-                    .with("aux_misses", self.aux_misses()),
+                    .with("aux_misses", self.aux_misses())
+                    .with("store_hits", self.store_hits())
+                    .with("store_misses", self.store_misses()),
             )
     }
 }

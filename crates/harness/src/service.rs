@@ -13,6 +13,11 @@
 //!   ED ratios vs. the baseline plus the full simulator report.
 //! - `POST /v1/experiments/{tab12,fig2,fig5a}` — regenerate a paper
 //!   artifact; the body is byte-identical to `repro --json <id>` output.
+//! - `POST /v1/campaigns` — run a W-continuum sweep + Pareto analysis
+//!   (see `preexec_harness::campaign`); the body is the strict
+//!   [`CampaignRequest`] spec, the response carries both the sweep and
+//!   the Pareto report. Long-running: poll with `?stream=sse` for
+//!   engine progress.
 //! - `POST /v1/shutdown` — graceful drain.
 //!
 //! Expensive endpoints go through the kit's full serving path: bounded
@@ -21,12 +26,14 @@
 //! optional SSE progress (`?stream=sse`) fed by the engine's progress
 //! sink.
 
+use crate::campaign;
 use crate::engine::{Engine, ProgressSink};
 use crate::experiments;
 use crate::metrics::Stage;
 use crate::setup::ExpConfig;
 use preexec_json::dto::{
-    EvalRequest, ExperimentRequest, PThreadSummary, SelectResponse, SimResponse, EXPERIMENT_IDS,
+    CampaignRequest, EvalRequest, ExperimentRequest, PThreadSummary, SelectResponse, SimResponse,
+    EXPERIMENT_IDS,
 };
 use preexec_json::{jobj, parse, ToJson};
 use preexec_server::{
@@ -51,6 +58,9 @@ pub struct ServeOptions {
     pub deadline_ms: u64,
     /// Also narrate engine progress on stderr.
     pub progress: bool,
+    /// Persistent result-store directory for warm starts: baseline and
+    /// optimized timing runs are served from (and written back to) disk.
+    pub store: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -62,6 +72,7 @@ impl Default for ServeOptions {
             cache_cap: 256,
             deadline_ms: 300_000,
             progress: false,
+            store: None,
         }
     }
 }
@@ -85,6 +96,11 @@ pub fn endpoint(name: &str) -> Option<(&'static str, String, String)> {
         id if EXPERIMENT_IDS.contains(&id) => {
             Some(("POST", format!("/v1/experiments/{id}"), String::new()))
         }
+        "campaigns" => Some((
+            "POST",
+            "/v1/campaigns".to_string(),
+            r#"{"benches":["gap"],"points":5}"#.to_string(),
+        )),
         "shutdown" => Some(("POST", "/v1/shutdown".to_string(), String::new())),
         _ => None,
     }
@@ -267,6 +283,75 @@ impl EngineService {
             }),
         }
     }
+
+    fn route_campaign(&self, req: &Request) -> Route {
+        let body = match req.body_str() {
+            Ok(b) => b,
+            Err(e) => {
+                return Route::Inline(Response::error(400, &format!("body is not utf-8: {e}")))
+            }
+        };
+        // An empty body means "the default campaign"; anything else must
+        // be the strict DTO.
+        let parsed = if body.trim().is_empty() {
+            Ok(CampaignRequest {
+                benches: None,
+                points: None,
+                mem_latencies: None,
+                idle_factors: None,
+                tolerance: None,
+            })
+        } else {
+            parse(body)
+                .map_err(|e| format!("malformed JSON: {e}"))
+                .and_then(|j| CampaignRequest::from_json(&j))
+        };
+        let creq = match parsed {
+            Ok(c) => c,
+            Err(e) => return Route::Inline(Response::error(400, &e)),
+        };
+        if let Some(benches) = &creq.benches {
+            if let Some(bad) = benches
+                .iter()
+                .find(|b| !preexec_workloads::NAMES.contains(&b.as_str()))
+            {
+                return Route::Inline(Response::error(
+                    400,
+                    &format!(
+                        "unknown benchmark {bad:?} (expected one of {:?})",
+                        preexec_workloads::NAMES
+                    ),
+                ));
+            }
+        }
+        let defaults = campaign::SweepOptions::default();
+        let opts = campaign::SweepOptions {
+            benches: creq.benches.clone().unwrap_or(defaults.benches),
+            points: creq.points.map(|p| p as usize).unwrap_or(defaults.points),
+            mem_latencies: creq.mem_latencies.clone().unwrap_or(defaults.mem_latencies),
+            idle_factors: creq.idle_factors.clone().unwrap_or(defaults.idle_factors),
+            ..defaults
+        };
+        let tolerance = creq.tolerance.unwrap_or(0.005);
+        let engine = self.engine.clone();
+        let cfg = self.cfg;
+        Route::Work {
+            key: Some(format!("campaign|{}", creq.canonical())),
+            compute: Box::new(move || {
+                let sweep = campaign::run_sweep(&engine, &cfg, &opts);
+                match campaign::pareto(&sweep, tolerance) {
+                    Ok(report) => Response::json(
+                        200,
+                        &jobj! {
+                            "sweep" => sweep.to_json(),
+                            "pareto" => report.to_json()
+                        },
+                    ),
+                    Err(e) => Response::error(500, &e),
+                }
+            }),
+        }
+    }
 }
 
 impl Service for EngineService {
@@ -283,6 +368,7 @@ impl Service for EngineService {
             )),
             ("POST", "/v1/select") => self.route_select(req),
             ("POST", "/v1/sim") => self.route_sim(req),
+            ("POST", "/v1/campaigns") => self.route_campaign(req),
             ("POST", "/v1/shutdown") => {
                 Route::Shutdown(Response::json(200, &jobj! { "status" => "draining" }))
             }
@@ -301,17 +387,24 @@ impl Service for EngineService {
 /// left as-is).
 pub fn serve(opts: &ServeOptions, engine: Option<Arc<Engine>>) -> std::io::Result<ServerHandle> {
     let bus = Arc::new(Bus::new());
-    let engine = engine.unwrap_or_else(|| {
-        let sink_bus = bus.clone();
-        let to_stderr = opts.progress;
-        let sink: ProgressSink = Arc::new(move |line: &str| {
-            sink_bus.publish(line);
-            if to_stderr {
-                eprintln!("[engine] {line}");
+    let engine = match engine {
+        Some(e) => e,
+        None => {
+            let sink_bus = bus.clone();
+            let to_stderr = opts.progress;
+            let sink: ProgressSink = Arc::new(move |line: &str| {
+                sink_bus.publish(line);
+                if to_stderr {
+                    eprintln!("[engine] {line}");
+                }
+            });
+            let mut engine = Engine::from_env().with_progress_sink(sink);
+            if let Some(dir) = &opts.store {
+                engine = engine.with_store(Arc::new(preexec_campaign::Store::open(dir)?));
             }
-        });
-        Arc::new(Engine::from_env().with_progress_sink(sink))
-    });
+            Arc::new(engine)
+        }
+    };
     let service = Arc::new(EngineService::new(engine, ExpConfig::default()));
     let cfg = ServerConfig {
         addr: opts.addr.clone(),
@@ -335,9 +428,22 @@ mod tests {
 
     #[test]
     fn endpoint_map_covers_the_cli_names() {
-        for name in ["healthz", "metrics", "select", "sim", "shutdown"] {
+        for name in [
+            "healthz",
+            "metrics",
+            "select",
+            "sim",
+            "campaigns",
+            "shutdown",
+        ] {
             assert!(endpoint(name).is_some(), "{name}");
         }
+        let (method, path, body) = endpoint("campaigns").unwrap();
+        assert_eq!((method, path.as_str()), ("POST", "/v1/campaigns"));
+        assert!(
+            preexec_json::dto::CampaignRequest::from_json(&parse(&body).unwrap()).is_ok(),
+            "smoke body must satisfy the strict DTO"
+        );
         for id in EXPERIMENT_IDS {
             let (method, path, _) = endpoint(id).unwrap();
             assert_eq!(method, "POST");

@@ -22,6 +22,22 @@ use pthsel::{
     select, AppParams, EnergyParams, MachineParams, Selection, SelectionTarget, SelectorInputs,
 };
 
+/// Version of the analysis/simulation model, folded into every memo and
+/// persistent-store key. Bump it whenever a change alters what any
+/// cached artifact *means* (simulator timing, selection math, energy
+/// accounting, profile mining): in-memory memos die with the process,
+/// but the persistent store outlives it, and a stale entry read under a
+/// changed model would silently poison every downstream result.
+pub const MODEL_VERSION: u32 = 1;
+
+/// Prefixes `raw` with an explicit model-version tag. All cache keys are
+/// built through this, so bumping [`MODEL_VERSION`] atomically
+/// invalidates every previously persisted entry (old entries just stop
+/// being addressed; the store's capacity bound reclaims them).
+pub fn versioned(version: u32, raw: &str) -> String {
+    format!("mv{version}|{raw}")
+}
+
 /// Experiment-wide configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ExpConfig {
@@ -135,6 +151,25 @@ impl PreparedBase {
     ///
     /// Panics if `name` is not a known workload.
     pub fn build_metered(name: &str, cfg: &ExpConfig, metrics: Option<&Metrics>) -> PreparedBase {
+        PreparedBase::build_metered_with(name, cfg, metrics, None)
+    }
+
+    /// [`PreparedBase::build_metered`], reusing an already-known baseline
+    /// run (e.g. one replayed from the persistent store) instead of
+    /// simulating it. The caller must have obtained `baseline` under
+    /// [`PreparedBase::baseline_key`] for the same `(name, cfg)` — the
+    /// simulator is deterministic in those inputs, so the reused report
+    /// is bit-identical to the one this function would compute.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a known workload.
+    pub fn build_metered_with(
+        name: &str,
+        cfg: &ExpConfig,
+        metrics: Option<&Metrics>,
+        baseline: Option<SimReport>,
+    ) -> PreparedBase {
         // A no-op sink keeps the hot path free of Option checks.
         let fallback = Metrics::new();
         let m = metrics.unwrap_or(&fallback);
@@ -170,11 +205,15 @@ impl PreparedBase {
             (costs, cp.breakdown(), cp.ipc())
         });
 
-        // Baseline timing run on the run input.
-        let baseline = m.time(Stage::BaselineSim, || {
-            Simulator::new(&run_prog, cfg.sim).run()
+        // Baseline timing run on the run input (skipped when a stored
+        // replay was supplied).
+        let baseline = baseline.unwrap_or_else(|| {
+            let baseline = m.time(Stage::BaselineSim, || {
+                Simulator::new(&run_prog, cfg.sim).run()
+            });
+            m.add_sim_cycles(baseline.cycles);
+            baseline
         });
-        m.add_sim_cycles(baseline.cycles);
 
         PreparedBase {
             name: name.to_string(),
@@ -193,14 +232,27 @@ impl PreparedBase {
     /// minus `cfg.slice` — slicing knobs reshape the trees but not these
     /// artifacts.
     pub fn base_key(name: &str, cfg: &ExpConfig) -> String {
-        format!(
-            "{name}|{:?}|{:?}|{:?}|{}|{}|{}",
-            cfg.sim,
-            cfg.profile_input,
-            cfg.run_input,
-            cfg.trace_cap,
-            cfg.problem_frac,
-            cfg.max_problem_loads,
+        versioned(
+            MODEL_VERSION,
+            &format!(
+                "{name}|{:?}|{:?}|{:?}|{}|{}|{}",
+                cfg.sim,
+                cfg.profile_input,
+                cfg.run_input,
+                cfg.trace_cap,
+                cfg.problem_frac,
+                cfg.max_problem_loads,
+            ),
+        )
+    }
+
+    /// The persistent-store key of the baseline timing run: exactly the
+    /// simulator's inputs (binary identity and machine configuration),
+    /// so every sweep point sharing a machine shares the stored run.
+    pub fn baseline_key(name: &str, cfg: &ExpConfig) -> String {
+        versioned(
+            MODEL_VERSION,
+            &format!("baseline|{name}|{:?}|{:?}", cfg.run_input, cfg.sim),
         )
     }
 }
@@ -302,15 +354,18 @@ impl PreparedCore {
     /// only affect selection and accounting, so energy sweeps share one
     /// core.
     pub fn structural_key(name: &str, cfg: &ExpConfig) -> String {
-        format!(
-            "{name}|{:?}|{:?}|{:?}|{}|{:?}|{}|{}",
-            cfg.sim,
-            cfg.profile_input,
-            cfg.run_input,
-            cfg.trace_cap,
-            cfg.slice,
-            cfg.problem_frac,
-            cfg.max_problem_loads,
+        versioned(
+            MODEL_VERSION,
+            &format!(
+                "{name}|{:?}|{:?}|{:?}|{}|{:?}|{}|{}",
+                cfg.sim,
+                cfg.profile_input,
+                cfg.run_input,
+                cfg.trace_cap,
+                cfg.slice,
+                cfg.problem_frac,
+                cfg.max_problem_loads,
+            ),
         )
     }
 }
@@ -489,5 +544,24 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn unknown_workload_panics() {
         let _ = Prepared::build("nonesuch", &ExpConfig::default());
+    }
+
+    #[test]
+    fn all_cache_keys_carry_the_model_version() {
+        let cfg = ExpConfig::default();
+        let prefix = format!("mv{MODEL_VERSION}|");
+        for key in [
+            PreparedCore::structural_key("gap", &cfg),
+            PreparedBase::base_key("gap", &cfg),
+            PreparedBase::baseline_key("gap", &cfg),
+        ] {
+            assert!(key.starts_with(&prefix), "unversioned key {key:?}");
+        }
+    }
+
+    #[test]
+    fn bumping_the_model_version_changes_every_key() {
+        assert_ne!(versioned(1, "k"), versioned(2, "k"));
+        assert_eq!(versioned(MODEL_VERSION, "k"), versioned(MODEL_VERSION, "k"));
     }
 }

@@ -74,6 +74,34 @@ fn opt_u64(j: &Json, key: &str, what: &str) -> Result<Option<u64>, String> {
     }
 }
 
+/// An optional homogeneous array field, element-parsed by `elem`
+/// (absent or `null` ⇒ `None`; an empty array is an error — omit the
+/// field to mean "default").
+fn opt_array<T>(
+    j: &Json,
+    key: &str,
+    what: &str,
+    kind: &str,
+    elem: impl Fn(&Json) -> Option<T>,
+) -> Result<Option<Vec<T>>, String> {
+    match j.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Array(items)) => {
+            if items.is_empty() {
+                return Err(format!(
+                    "{what}: field {key:?} must not be empty (omit it for the default)"
+                ));
+            }
+            items
+                .iter()
+                .map(|v| elem(v).ok_or_else(|| format!("{what}: field {key:?} must be {kind}")))
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some)
+        }
+        Some(_) => Err(format!("{what}: field {key:?} must be {kind}")),
+    }
+}
+
 /// A required number field.
 fn req_f64(j: &Json, key: &str, what: &str) -> Result<f64, String> {
     opt_f64(j, key, what)?.ok_or_else(|| format!("{what}: missing required field {key:?}"))
@@ -184,6 +212,77 @@ impl ExperimentRequest {
         let what = "ExperimentRequest";
         reject_unknown(j, &["id"], what)?;
         Self::from_id(&req_str(j, "id", what)?)
+    }
+}
+
+/// Body of `POST /v1/campaigns`: a declarative W-continuum sweep spec
+/// plus Pareto analysis. Every field is optional; an empty body (or
+/// `{}`) means "the default campaign".
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignRequest {
+    /// Benchmarks to sweep (default: the full suite).
+    pub benches: Option<Vec<String>>,
+    /// Evenly spaced W-grid points over `[0, 1]`; the paper's four
+    /// anchors are always added (default 17).
+    pub points: Option<u64>,
+    /// Machine grid: main-memory latencies in cycles.
+    pub mem_latencies: Option<Vec<u64>>,
+    /// Energy grid: idle-power fractions.
+    pub idle_factors: Option<Vec<f64>>,
+    /// Frontier-distance tolerance for the paper-target checks
+    /// (default 0.005).
+    pub tolerance: Option<f64>,
+}
+
+crate::impl_json_object!(CampaignRequest {
+    benches,
+    points,
+    mem_latencies,
+    idle_factors,
+    tolerance,
+});
+
+impl CampaignRequest {
+    const FIELDS: [&'static str; 5] = [
+        "benches",
+        "points",
+        "mem_latencies",
+        "idle_factors",
+        "tolerance",
+    ];
+
+    /// Strictly parses a campaign body. Grid arrays, when present, must
+    /// be non-empty and well-typed; `points` is capped to keep one
+    /// request's work bounded.
+    pub fn from_json(j: &Json) -> Result<CampaignRequest, String> {
+        let what = "CampaignRequest";
+        reject_unknown(j, &Self::FIELDS, what)?;
+        let points = opt_u64(j, "points", what)?;
+        if let Some(p) = points {
+            if !(2..=65).contains(&p) {
+                return Err(format!("{what}: \"points\" must be in 2..=65, got {p}"));
+            }
+        }
+        Ok(CampaignRequest {
+            benches: opt_array(j, "benches", what, "an array of strings", |v| {
+                v.as_str().map(str::to_string)
+            })?,
+            points,
+            mem_latencies: opt_array(
+                j,
+                "mem_latencies",
+                what,
+                "an array of unsigned integers",
+                Json::as_u64,
+            )?,
+            idle_factors: opt_array(j, "idle_factors", what, "an array of numbers", Json::as_f64)?,
+            tolerance: opt_f64(j, "tolerance", what)?,
+        })
+    }
+
+    /// The canonical byte form used as singleflight / cache key.
+    pub fn canonical(&self) -> String {
+        self.to_json().to_string()
     }
 }
 
@@ -390,6 +489,59 @@ mod tests {
         assert!(EvalRequest::from_json(&bad).unwrap_err().contains("bench"));
         let bad = parse(r#"{"bench":"gap","target":"weighted"}"#).unwrap();
         assert!(EvalRequest::from_json(&bad).unwrap_err().contains("weight"));
+    }
+
+    #[test]
+    fn campaign_request_is_strict_with_bounded_points() {
+        let r = CampaignRequest::from_json(&parse("{}").unwrap()).unwrap();
+        assert_eq!(
+            r,
+            CampaignRequest {
+                benches: None,
+                points: None,
+                mem_latencies: None,
+                idle_factors: None,
+                tolerance: None,
+            }
+        );
+        let r = CampaignRequest::from_json(
+            &parse(r#"{"benches":["gap"],"points":5,"idle_factors":[0.05,0.2]}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(r.benches.as_deref(), Some(&["gap".to_string()][..]));
+        assert_eq!(r.points, Some(5));
+        assert_eq!(r.idle_factors.as_deref(), Some(&[0.05, 0.2][..]));
+        // Field order doesn't change the canonical key.
+        let r2 = CampaignRequest::from_json(
+            &parse(r#"{"idle_factors":[0.05,0.2],"points":5,"benches":["gap"]}"#).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(r.canonical(), r2.canonical());
+
+        let bad = parse(r#"{"pointz":5}"#).unwrap();
+        assert!(CampaignRequest::from_json(&bad)
+            .unwrap_err()
+            .contains("pointz"));
+        let bad = parse(r#"{"points":1}"#).unwrap();
+        assert!(CampaignRequest::from_json(&bad)
+            .unwrap_err()
+            .contains("2..=65"));
+        let bad = parse(r#"{"points":66}"#).unwrap();
+        assert!(CampaignRequest::from_json(&bad)
+            .unwrap_err()
+            .contains("2..=65"));
+        let bad = parse(r#"{"benches":[]}"#).unwrap();
+        assert!(CampaignRequest::from_json(&bad)
+            .unwrap_err()
+            .contains("empty"));
+        let bad = parse(r#"{"benches":[1]}"#).unwrap();
+        assert!(CampaignRequest::from_json(&bad)
+            .unwrap_err()
+            .contains("strings"));
+        let bad = parse(r#"{"mem_latencies":[1.5]}"#).unwrap();
+        assert!(CampaignRequest::from_json(&bad)
+            .unwrap_err()
+            .contains("unsigned"));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 pub use preexec_analysis as analysis;
 pub use preexec_bpred as bpred;
+pub use preexec_campaign as campaign;
 pub use preexec_critpath as critpath;
 pub use preexec_energy as energy;
 pub use preexec_harness as harness;

@@ -60,3 +60,13 @@ fn fig5a_matches_golden() {
         include_str!("golden/fig5a.json"),
     );
 }
+
+#[test]
+fn fig3_matches_golden() {
+    let cfg = ExpConfig::default();
+    assert_golden(
+        "fig3",
+        experiments::fig3::run(engine(), &cfg).to_json(),
+        include_str!("golden/fig3.json"),
+    );
+}

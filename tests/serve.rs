@@ -4,7 +4,7 @@
 //! and graceful shutdown.
 
 use preexec::harness::service::{serve, ServeOptions};
-use preexec::harness::{experiments, Engine, ExpConfig};
+use preexec::harness::{campaign, experiments, Engine, ExpConfig};
 use preexec::server::http::{read_response, write_request, Response};
 use preexec_json::{jobj, parse, Json, ToJson};
 use std::io::{BufRead, BufReader, Read};
@@ -237,4 +237,88 @@ fn shutdown_endpoint_drains_and_join_returns() {
         }
     };
     assert!(gone, "listener gone after drain");
+}
+
+#[test]
+fn campaigns_endpoint_sweeps_and_matches_the_library_path() {
+    // Boot with a persistent store attached (exercises the warm-start
+    // wiring in ServeOptions too).
+    let store_dir =
+        std::env::temp_dir().join(format!("preexec-serve-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let o = ServeOptions {
+        store: Some(store_dir.to_string_lossy().into_owned()),
+        ..opts()
+    };
+    let h = serve(&o, None).unwrap();
+    let addr = h.addr();
+
+    // Strict DTO validation happens before any engine work.
+    assert_eq!(
+        call(addr, "POST", "/v1/campaigns", r#"{"points":1}"#).status,
+        400
+    );
+    let bad = call(addr, "POST", "/v1/campaigns", r#"{"benches":["quake"]}"#);
+    assert_eq!(bad.status, 400);
+    assert!(bad.body_str().contains("quake"), "{}", bad.body_str());
+    assert_eq!(
+        call(
+            addr,
+            "POST",
+            "/v1/campaigns",
+            r#"{"benches":[],"points":5}"#
+        )
+        .status,
+        400,
+        "empty grids are rejected, not defaulted"
+    );
+
+    let resp = call(
+        addr,
+        "POST",
+        "/v1/campaigns",
+        r#"{"benches":["gap"],"points":5}"#,
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let j = parse(&resp.body_str()).unwrap();
+
+    // The embedded sweep is byte-identical to the library (and so to the
+    // `repro --json sweep` CLI) output for the same spec.
+    let engine = Engine::from_env();
+    let sweep_opts = campaign::SweepOptions {
+        benches: vec!["gap".to_string()],
+        points: 5,
+        ..campaign::SweepOptions::default()
+    };
+    let expected = campaign::run_sweep(&engine, &ExpConfig::default(), &sweep_opts);
+    assert_eq!(
+        j.get("sweep").unwrap().to_string(),
+        expected.to_json().to_string(),
+        "server sweep drifted from the library path"
+    );
+    let pareto = j.get("pareto").expect("pareto report in response");
+    let targets = pareto
+        .get("groups")
+        .and_then(|g| g.as_array())
+        .and_then(|g| g.first())
+        .and_then(|g| g.get("aggregate"))
+        .and_then(|a| a.get("targets"))
+        .and_then(|t| t.as_array())
+        .expect("aggregate targets");
+    assert_eq!(targets.len(), 4, "L, P2, P, E checks present");
+
+    // Identical spec → served from the response cache (singleflight
+    // key is the canonical DTO), still the same bytes.
+    let again = call(
+        addr,
+        "POST",
+        "/v1/campaigns",
+        r#"{"benches":["gap"],"points":5}"#,
+    );
+    assert_eq!(again.status, 200);
+    assert_eq!(again.body_str(), resp.body_str());
+
+    h.shutdown();
+    h.join();
+    let _ = std::fs::remove_dir_all(&store_dir);
 }
